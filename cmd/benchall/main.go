@@ -1,0 +1,72 @@
+// Command benchall reruns the paper's evaluation: every table and
+// figure of Sec. IV plus the Sec.-V query experiment, on the synthetic
+// dataset analogs (internal/gen).
+//
+// Usage:
+//
+//	benchall                  # all experiments at the default scale
+//	benchall -exp table5      # one experiment
+//	benchall -scale 4         # closer to paper-scale datasets (slower)
+//	benchall -exp fig13 -copies 4096
+//
+// Output is plain text, one table per experiment, with the paper's
+// qualitative findings attached as notes for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"graphrepair/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all|"+names())
+		scale   = flag.Int("scale", 16, "dataset size divisor (1 = paper scale)")
+		copies  = flag.Int("copies", 4096, "max copies for fig13")
+		verbose = flag.Bool("v", false, "print progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, MaxCopies: *copies, Progress: func(string, ...any) {}}
+	if *verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "benchall: "+format+"\n", args...)
+		}
+	}
+
+	run := func(name string, f func(bench.Config) (*bench.Table, error)) {
+		start := time.Now()
+		t, err := f(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	found := false
+	for _, e := range bench.Experiments {
+		if *exp == "all" || *exp == e.Name {
+			run(e.Name, e.Run)
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "benchall: unknown experiment %q (want all|%s)\n", *exp, names())
+		os.Exit(2)
+	}
+}
+
+func names() string {
+	var n []string
+	for _, e := range bench.Experiments {
+		n = append(n, e.Name)
+	}
+	return strings.Join(n, "|")
+}

@@ -1,0 +1,87 @@
+// Command gquery runs queries directly on a compressed grammar file
+// (paper Sec. V), without decompressing the graph.
+//
+// Usage:
+//
+//	gquery -q reach -from 3 -to 17 file.grpr
+//	gquery -q out -from 3 file.grpr
+//	gquery -q in -from 3 file.grpr
+//	gquery -q components file.grpr
+//	gquery -q degrees file.grpr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphrepair/internal/encoding"
+	"graphrepair/internal/query"
+)
+
+func main() {
+	var (
+		q    = flag.String("q", "", "query: reach|out|in|components|degrees")
+		from = flag.Int64("from", 0, "source node ID")
+		to   = flag.Int64("to", 0, "target node ID (reach)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *q == "" {
+		fmt.Fprintln(os.Stderr, "usage: gquery -q <query> [-from N] [-to N] <file.grpr>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *q, *from, *to); err != nil {
+		fmt.Fprintln(os.Stderr, "gquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, q string, from, to int64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	g, err := encoding.Decode(buf)
+	if err != nil {
+		return err
+	}
+	eng, err := query.New(g)
+	if err != nil {
+		return err
+	}
+	switch q {
+	case "reach":
+		ok, err := eng.Reachable(from, to)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reachable(%d, %d) = %v\n", from, to, ok)
+	case "out", "in":
+		dir := query.Out
+		if q == "in" {
+			dir = query.In
+		}
+		nb, err := eng.Neighbors(from, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s-neighbors(%d) = %v\n", q, from, nb)
+	case "components":
+		fmt.Printf("weakly connected components = %d\n", eng.ComponentCount())
+	case "degrees":
+		for _, d := range []struct {
+			name string
+			dir  query.Direction
+		}{{"out", query.Out}, {"in", query.In}, {"total", query.Both}} {
+			mn, mx, err := eng.DegreeStats(d.dir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s degree: min=%d max=%d\n", d.name, mn, mx)
+		}
+	default:
+		return fmt.Errorf("unknown query %q", q)
+	}
+	return nil
+}

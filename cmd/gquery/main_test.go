@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphrepair/internal/core"
+	"graphrepair/internal/encoding"
+	"graphrepair/internal/hypergraph"
+)
+
+func compressedFile(t *testing.T) string {
+	t.Helper()
+	g := hypergraph.New(9)
+	for i := 1; i < 9; i++ {
+		g.AddEdge(1, hypergraph.NodeID(i), hypergraph.NodeID(i+1))
+	}
+	res, err := core.Compress(g, 1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := encoding.Encode(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.grpr")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQueriesCLI(t *testing.T) {
+	path := compressedFile(t)
+	for _, tc := range []struct {
+		q        string
+		from, to int64
+	}{
+		{"reach", 1, 9},
+		{"out", 1, 0},
+		{"in", 9, 0},
+		{"components", 0, 0},
+		{"degrees", 0, 0},
+	} {
+		if err := run(path, tc.q, tc.from, tc.to); err != nil {
+			t.Fatalf("query %s: %v", tc.q, err)
+		}
+	}
+	if err := run(path, "bogus", 0, 0); err == nil {
+		t.Fatal("bogus query accepted")
+	}
+	if err := run(path, "reach", 0, 99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestCorruptFileCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.grpr")
+	if err := os.WriteFile(path, []byte("not a grammar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "components", 0, 0); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphrepair/internal/graphio"
+)
+
+func TestGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.graph")
+	if err := run("ca-grqc", 64, 0, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, labels, _, err := graphio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != 1 || g.NumEdges() == 0 {
+		t.Fatalf("generated graph: labels=%d edges=%d", labels, g.NumEdges())
+	}
+}
+
+func TestCircleFamily(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c.graph")
+	if err := run("circle", 1, 12, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, _, err := graphio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 48 || g.NumEdges() != 60 {
+		t.Fatalf("circle family: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestStatsMode(t *testing.T) {
+	if err := run("ttt", 64, 0, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if err := run("nope", 1, 0, "", false); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Command grepair compresses and decompresses graphs with gRePair.
+//
+// Usage:
+//
+//	grepair -c [-maxrank 4] [-order fp] [-o out.grpr] in.graph
+//	grepair -d [-o out.graph] in.grpr
+//	grepair -stats in.grpr
+//
+// Graphs use the text format of internal/graphio; compressed files use
+// the paper's binary grammar format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphrepair/internal/core"
+	"graphrepair/internal/encoding"
+	"graphrepair/internal/graphio"
+	"graphrepair/internal/order"
+)
+
+var orderNames = map[string]order.Kind{
+	"natural": order.Natural, "bfs": order.BFS, "dfs": order.DFS,
+	"random": order.Random, "fp0": order.FP0, "fp": order.FP,
+}
+
+func main() {
+	var (
+		compress   = flag.Bool("c", false, "compress a text graph into a grammar file")
+		decompress = flag.Bool("d", false, "decompress a grammar file into a text graph")
+		stats      = flag.Bool("stats", false, "print statistics of a grammar file")
+		out        = flag.String("o", "", "output file (default stdout)")
+		maxRank    = flag.Int("maxrank", 4, "maximal digram rank")
+		orderName  = flag.String("order", "fp", "node order: natural|bfs|dfs|random|fp0|fp")
+		seed       = flag.Int64("seed", 0, "seed for the random order")
+		noVirtual  = flag.Bool("novirtual", false, "disable the virtual-edge stage")
+		noPrune    = flag.Bool("noprune", false, "disable pruning")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || (!*compress && !*decompress && !*stats) {
+		fmt.Fprintln(os.Stderr, "usage: grepair -c|-d|-stats [flags] <file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *compress, *decompress, *stats, *out,
+		*maxRank, *orderName, *seed, *noVirtual, *noPrune); err != nil {
+		fmt.Fprintln(os.Stderr, "grepair:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, compress, decompress, stats bool, out string,
+	maxRank int, orderName string, seed int64, noVirtual, noPrune bool) error {
+	output := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		output = f
+	}
+
+	switch {
+	case compress:
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, labels, skipped, err := graphio.Read(f)
+		if err != nil {
+			return err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "grepair: dropped %d self-loop/duplicate edges\n", skipped)
+		}
+		kind, ok := orderNames[orderName]
+		if !ok {
+			return fmt.Errorf("unknown order %q", orderName)
+		}
+		opts := core.Options{
+			MaxRank:           maxRank,
+			Order:             kind,
+			Seed:              seed,
+			ConnectComponents: !noVirtual,
+			SkipPrune:         noPrune,
+		}
+		res, err := core.Compress(g, labels, opts)
+		if err != nil {
+			return err
+		}
+		buf, sz, err := encoding.Encode(res.Grammar)
+		if err != nil {
+			return err
+		}
+		if _, err := output.Write(buf); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "grepair: %d nodes, %d edges -> %d bytes (%.2f bpe), %d rules, %d pruned\n",
+			g.NumNodes(), g.NumEdges(), sz.TotalBytes(),
+			float64(sz.TotalBytes())*8/float64(g.NumEdges()),
+			res.Grammar.NumRules(), res.Stats.RulesPruned)
+		return nil
+
+	case decompress:
+		buf, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		g, err := encoding.Decode(buf)
+		if err != nil {
+			return err
+		}
+		derived, err := g.Derive(0)
+		if err != nil {
+			return err
+		}
+		labels := g.Terminals
+		return graphio.Write(output, derived, labels)
+
+	default: // stats
+		buf, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		g, err := encoding.Decode(buf)
+		if err != nil {
+			return err
+		}
+		nodes, edges := g.DerivedSize()
+		fmt.Fprintf(output, "file bytes:      %d\n", len(buf))
+		fmt.Fprintf(output, "terminals:       %d\n", g.Terminals)
+		fmt.Fprintf(output, "rules:           %d\n", g.NumRules())
+		fmt.Fprintf(output, "grammar size:    %d (|G| = nodes+edges measure)\n", g.Size())
+		fmt.Fprintf(output, "grammar height:  %d\n", g.Height())
+		fmt.Fprintf(output, "start graph:     %d nodes, %d edges\n", g.Start.NumNodes(), g.Start.NumEdges())
+		fmt.Fprintf(output, "derived graph:   %d nodes, %d edges\n", nodes, edges)
+		fmt.Fprintf(output, "bits per edge:   %.2f\n", float64(len(buf))*8/float64(edges))
+		return nil
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphrepair/internal/graphio"
+	"graphrepair/internal/hypergraph"
+)
+
+// writeTestGraph writes a small repetitive graph in the text format.
+func writeTestGraph(t *testing.T, dir string) string {
+	t.Helper()
+	g := hypergraph.New(13)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(1, hypergraph.NodeID(2*i+1), hypergraph.NodeID(2*i+2))
+		g.AddEdge(2, hypergraph.NodeID(2*i+2), hypergraph.NodeID(2*i+3))
+	}
+	path := filepath.Join(dir, "in.graph")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graphio.Write(f, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompressDecompressRoundtripCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	grpr := filepath.Join(dir, "out.grpr")
+	if err := run(in, true, false, false, grpr, 4, "fp", 0, false, false); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if fi, err := os.Stat(grpr); err != nil || fi.Size() == 0 {
+		t.Fatalf("no output written: %v", err)
+	}
+	outGraph := filepath.Join(dir, "out.graph")
+	if err := run(grpr, false, true, false, outGraph, 4, "fp", 0, false, false); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	f, err := os.Open(outGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, labels, _, err := graphio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != 2 || g.NumNodes() != 13 || g.NumEdges() != 12 {
+		t.Fatalf("roundtrip graph: %d labels, %d nodes, %d edges", labels, g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestStatsCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	grpr := filepath.Join(dir, "out.grpr")
+	if err := run(in, true, false, false, grpr, 4, "fp", 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	statsOut := filepath.Join(dir, "stats.txt")
+	if err := run(grpr, false, false, true, statsOut, 4, "fp", 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(statsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rules:", "derived graph:", "bits per edge:"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("stats output missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestBadOrderNameCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	if err := run(in, true, false, false, filepath.Join(dir, "x"), 4, "bogus", 0, false, false); err == nil {
+		t.Fatal("bogus order accepted")
+	}
+}
+
+func TestAllOrderNamesWork(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	for name := range orderNames {
+		if err := run(in, true, false, false, filepath.Join(dir, name+".grpr"), 4, name, 1, false, false); err != nil {
+			t.Fatalf("order %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package graphrepair_test
+
+import (
+	"fmt"
+
+	"graphrepair"
+)
+
+// Example compresses the paper's Fig.-1 chain and verifies the
+// roundtrip.
+func Example() {
+	g := graphrepair.NewGraph(9)
+	for i := 0; i < 4; i++ {
+		base := graphrepair.NodeID(2 * i)
+		g.AddEdge(1, base+1, base+2) // a
+		g.AddEdge(2, base+2, base+3) // b
+	}
+	res, err := graphrepair.Compress(g, 2, graphrepair.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	buf, _, err := graphrepair.Encode(res.Grammar)
+	if err != nil {
+		panic(err)
+	}
+	back, err := graphrepair.Decompress(buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("isomorphic:", graphrepair.Isomorphic(g, back))
+	// Output: isomorphic: true
+}
+
+// ExampleEngine_Reachable runs reachability on the compressed form.
+func ExampleEngine_Reachable() {
+	g := graphrepair.NewGraph(5)
+	for i := graphrepair.NodeID(1); i < 5; i++ {
+		g.AddEdge(1, i, i+1)
+	}
+	res, _ := graphrepair.Compress(g, 1, graphrepair.DefaultOptions())
+	eng, _ := graphrepair.NewEngine(res.Grammar)
+	forward, _ := eng.Reachable(1, 5)
+	backward, _ := eng.Reachable(5, 1)
+	fmt.Println(forward, backward)
+	// Output: true false
+}
+
+// ExampleEngine_NewRPQ answers a regular path query without
+// decompressing.
+func ExampleEngine_NewRPQ() {
+	g := graphrepair.NewGraph(3)
+	g.AddEdge(1, 1, 2) // a
+	g.AddEdge(2, 2, 3) // b
+	res, _ := graphrepair.Compress(g, 2, graphrepair.DefaultOptions())
+	eng, _ := graphrepair.NewEngine(res.Grammar)
+	rpq := eng.NewRPQ(graphrepair.PathNFA(1, 2)) // "a then b"
+	ok, _ := rpq.Matches(1, 3)
+	fmt.Println(ok)
+	// Output: true
+}
+
+// ExampleEngine_Distance computes shortest paths on the grammar.
+func ExampleEngine_Distance() {
+	g := graphrepair.NewGraph(6)
+	for i := graphrepair.NodeID(1); i < 6; i++ {
+		g.AddEdge(1, i, i+1)
+	}
+	res, _ := graphrepair.Compress(g, 1, graphrepair.DefaultOptions())
+	eng, _ := graphrepair.NewEngine(res.Grammar)
+	d, _ := eng.Distance(1, 6)
+	fmt.Println(d)
+	// Output: 5
+}
+
+// ExampleFPClasses shows the paper's compressibility indicator.
+func ExampleFPClasses() {
+	// A directed cycle: every node is structurally identical.
+	g := graphrepair.NewGraph(8)
+	for i := graphrepair.NodeID(1); i <= 8; i++ {
+		g.AddEdge(1, i, i%8+1)
+	}
+	fmt.Println(graphrepair.FPClasses(g))
+	// Output: 1
+}

@@ -1,0 +1,76 @@
+// RDF example: compress a DBpedia-types-style star graph (the paper's
+// headline RDF result, Table V) and answer neighborhood queries on the
+// compressed form without decompressing.
+//
+// RDF triples (s, p, o) map to edges s→o labeled p; the dictionary
+// mapping URIs to integers is kept separately (as in the paper, which
+// compresses only the graph structure).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphrepair"
+	"graphrepair/internal/baseline/k2"
+	"graphrepair/internal/gen"
+)
+
+func main() {
+	// A types-like graph: ~40k subjects, each with one rdf:type edge
+	// to one of 30 type objects (Zipf-distributed) — the star pattern
+	// the paper credits for its orders-of-magnitude wins.
+	g := gen.RDFTypes(40000, 30, 1.0001, 1)
+	fmt.Printf("RDF graph: %d nodes, %d triples, 1 predicate\n", g.NumNodes(), g.NumEdges())
+
+	res, err := graphrepair.Compress(g, 1, graphrepair.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf, _, err := graphrepair.Encode(res.Grammar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gRePair: %d bytes (%.3f bpe), %d rules\n",
+		len(buf), float64(len(buf))*8/float64(g.NumEdges()), res.Grammar.NumRules())
+
+	// The k²-tree baseline (the representation of Álvarez-García et
+	// al. the paper compares against in Table V).
+	kc, err := k2.Compress(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k²-tree: %d bytes (%.3f bpe)\n",
+		kc.SizeBytes(), float64(kc.SizeBytes())*8/float64(g.NumEdges()))
+	fmt.Printf("gRePair is %.0fx smaller on this star-shaped RDF graph\n",
+		float64(kc.SizeBytes())/float64(len(buf)))
+
+	// Query the compressed grammar directly: find the biggest type
+	// hub and list a subject's types.
+	eng, err := graphrepair.NewEngine(res.Grammar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hub int64
+	best := 0
+	// Derived node IDs 1..n; hubs are the nodes with in-degree > 1.
+	for k := int64(1); k <= eng.NumNodes(); k++ {
+		in, err := eng.Neighbors(k, graphrepair.In)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(in) > best {
+			best = len(in)
+			hub = k
+		}
+		if k > 2000 && best > 1000 {
+			break // sampled enough to find a large hub
+		}
+	}
+	fmt.Printf("largest sampled type hub: node %d with %d instances\n", hub, best)
+	out, err := eng.Neighbors(1, graphrepair.Out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("types of subject node 1 (queried on the grammar): %v\n", out)
+}

@@ -1,0 +1,55 @@
+// Version-graph example: the paper's Fig.-13 experiment in miniature.
+// A version graph is a disjoint union of many (near-)identical copies
+// of the same graph; gRePair achieves "exponential compression" on it
+// — its output grows roughly logarithmically in the number of copies
+// while baseline representations grow linearly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphrepair"
+	"graphrepair/internal/baseline/k2"
+	"graphrepair/internal/baseline/lm"
+	"graphrepair/internal/gen"
+)
+
+func main() {
+	fmt.Println("copies  edges   gRePair(B)  k2(B)   LM(B)")
+	for n := 8; n <= 2048; n *= 4 {
+		// N disjoint copies of a directed 4-node circle + diagonal.
+		g := gen.CircleCopies(n)
+
+		res, err := graphrepair.Compress(g, 1, graphrepair.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf, _, err := graphrepair.Encode(res.Grammar)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		kc, err := k2.Compress(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lc, err := lm.Compress(g, lm.DefaultChunkSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7d %-7d %-11d %-7d %-7d\n",
+			n, g.NumEdges(), len(buf), kc.SizeBytes(), lc.SizeBytes())
+
+		// Sanity: decompression restores an isomorphic graph.
+		back, err := graphrepair.Decompress(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			log.Fatalf("roundtrip mismatch at %d copies", n)
+		}
+	}
+	fmt.Println("\ngRePair grows ~logarithmically (the virtual-edge stage lets")
+	fmt.Println("identical components share one derivation); baselines grow linearly.")
+}

@@ -1,0 +1,153 @@
+package hn
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// bicliqueGraph builds s sources all pointing at the same t targets,
+// plus some noise edges.
+func bicliqueGraph(s, t, noise int, rng *rand.Rand) *hypergraph.Graph {
+	n := s + t + noise
+	g := hypergraph.New(n)
+	for i := 1; i <= s; i++ {
+		for j := s + 1; j <= s+t; j++ {
+			g.AddEdge(1, hypergraph.NodeID(i), hypergraph.NodeID(j))
+		}
+	}
+	for i := 0; i < noise; i++ {
+		u := hypergraph.NodeID(1 + rng.Intn(n))
+		v := hypergraph.NodeID(1 + rng.Intn(n))
+		if u != v && !hasEdge(g, u, v) {
+			g.AddEdge(1, u, v)
+		}
+	}
+	return g
+}
+
+func hasEdge(g *hypergraph.Graph, u, v hypergraph.NodeID) bool {
+	for _, w := range g.OutNeighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMinesObviousBiclique(t *testing.T) {
+	g := bicliqueGraph(8, 8, 0, rand.New(rand.NewSource(1)))
+	tr, err := Transform(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mined < 1 {
+		t.Fatal("8×8 biclique not mined")
+	}
+	// 64 edges become 16 through one virtual node.
+	if tr.Graph.NumEdges() >= g.NumEdges() {
+		t.Fatalf("no contraction: %d vs %d edges", tr.Graph.NumEdges(), g.NumEdges())
+	}
+	// Expansion must reproduce the original edge set exactly.
+	back := Expand(tr)
+	wa, wb := g.Triples(), back.Triples()
+	if len(wa) != len(wb) {
+		t.Fatalf("expand: %d vs %d edges", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("expand mismatch at %d: %v vs %v", i, wa[i], wb[i])
+		}
+	}
+}
+
+func TestExpandRandomGraphsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(60)
+		var triples []hypergraph.Triple
+		for i := 0; i < 4*n; i++ {
+			triples = append(triples, hypergraph.Triple{
+				Src:   hypergraph.NodeID(1 + rng.Intn(n)),
+				Dst:   hypergraph.NodeID(1 + rng.Intn(n)),
+				Label: 1,
+			})
+		}
+		g, _ := hypergraph.FromTriples(n, triples)
+		tr, err := Transform(g, Params{T: 4, P: 2, ES: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := Expand(tr)
+		wa, wb := g.Triples(), back.Triples()
+		if len(wa) != len(wb) {
+			t.Fatalf("trial %d: %d vs %d edges", trial, len(wa), len(wb))
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("trial %d: edge mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestCompressedQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := bicliqueGraph(10, 12, 40, rng)
+	c, tr, err := Compress(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mined < 1 {
+		t.Fatal("nothing mined")
+	}
+	for v := hypergraph.NodeID(1); int(v) <= tr.Original; v++ {
+		got := c.OutNeighbors(v)
+		want := g.OutNeighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: got %v want %v", v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: got %v want %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestThresholdsRespected(t *testing.T) {
+	// A 2×2 biclique saves 0 edges; with ES=10 it must not be mined.
+	g := bicliqueGraph(2, 2, 0, rand.New(rand.NewSource(2)))
+	tr, err := Transform(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mined != 0 {
+		t.Fatal("tiny biclique mined despite thresholds")
+	}
+}
+
+func TestSizeSmallerOnDenseSubstructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := bicliqueGraph(40, 40, 100, rng)
+	c, _, err := Compress(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := plainK2Size(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeBits() >= plain {
+		t.Fatalf("HN %d bits >= plain k2 %d bits on dense biclique", c.SizeBits(), plain)
+	}
+}
+
+func plainK2Size(g *hypergraph.Graph) (int, error) {
+	c, _, err := Compress(g, Params{T: 1 << 30, P: 0, ES: 1 << 30})
+	if err != nil {
+		return 0, err
+	}
+	return c.SizeBits(), nil
+}

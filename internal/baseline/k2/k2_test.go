@@ -1,0 +1,114 @@
+package k2
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrepair/internal/bitio"
+	"graphrepair/internal/hypergraph"
+)
+
+func randomGraph(rng *rand.Rand, n, m, labels int) *hypergraph.Graph {
+	var triples []hypergraph.Triple
+	for i := 0; i < m; i++ {
+		triples = append(triples, hypergraph.Triple{
+			Src:   hypergraph.NodeID(1 + rng.Intn(n)),
+			Dst:   hypergraph.NodeID(1 + rng.Intn(n)),
+			Label: hypergraph.Label(1 + rng.Intn(labels)),
+		})
+	}
+	g, _ := hypergraph.FromTriples(n, triples)
+	return g
+}
+
+func TestRoundtripAndQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 50, 200, 4)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triples must reconstruct exactly.
+	want := g.Triples()
+	got := c.Triples()
+	if len(want) != len(got) {
+		t.Fatalf("triples %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("triple %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+	// Neighbor queries agree with the graph.
+	for v := hypergraph.NodeID(1); v <= 50; v++ {
+		co, ci := c.OutNeighbors(v), c.InNeighbors(v)
+		wo, wi := g.OutNeighbors(v), g.InNeighbors(v)
+		if len(co) != len(wo) || len(ci) != len(wi) {
+			t.Fatalf("node %d neighbor counts", v)
+		}
+		for i := range co {
+			if co[i] != wo[i] {
+				t.Fatalf("node %d out", v)
+			}
+		}
+		for i := range ci {
+			if ci[i] != wi[i] {
+				t.Fatalf("node %d in", v)
+			}
+		}
+	}
+	// HasEdge spot checks.
+	for _, tr := range want[:20] {
+		if !c.HasEdge(tr.Src, tr.Dst, tr.Label) {
+			t.Fatalf("HasEdge(%v) = false", tr)
+		}
+	}
+	if c.HasEdge(1, 1, 99) {
+		t.Fatal("phantom label")
+	}
+}
+
+func TestSerializationRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := randomGraph(rng, 30, 100, 2)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter()
+	c.EncodeTo(w)
+	if w.Len() != c.SizeBits() {
+		t.Fatalf("SizeBits %d != encoded %d", c.SizeBits(), w.Len())
+	}
+	d, err := Decode(bitio.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.Triples(), d.Triples()
+	if len(a) != len(b) {
+		t.Fatal("decode lost edges")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("decode changed edges")
+		}
+	}
+}
+
+func TestRejectsHyperedges(t *testing.T) {
+	g := hypergraph.New(3)
+	g.AddEdge(1, 1, 2, 3)
+	if _, err := Compress(g); err == nil {
+		t.Fatal("hyperedge accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	c, err := Compress(hypergraph.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.OutNeighbors(1)) != 0 || c.SizeBits() == 0 {
+		t.Fatal("empty graph misbehaved")
+	}
+}

@@ -1,0 +1,105 @@
+package lm
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *hypergraph.Graph {
+	var triples []hypergraph.Triple
+	for i := 0; i < m; i++ {
+		triples = append(triples, hypergraph.Triple{
+			Src:   hypergraph.NodeID(1 + rng.Intn(n)),
+			Dst:   hypergraph.NodeID(1 + rng.Intn(n)),
+			Label: 1,
+		})
+	}
+	g, _ := hypergraph.FromTriples(n, triples)
+	return g
+}
+
+func TestOutNeighborsMatchGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{5, 63, 64, 65, 200} {
+		g := randomGraph(rng, n, 4*n)
+		c, err := Compress(g, DefaultChunkSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := hypergraph.NodeID(1); int(v) <= n; v++ {
+			got, err := c.OutNeighbors(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := g.OutNeighbors(v)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d node %d: got %v want %v", n, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d node %d: got %v want %v", n, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressionOnRepetitiveLists(t *testing.T) {
+	// Many nodes sharing identical neighbor lists: merged chunks plus
+	// DEFLATE should beat 4 bytes/edge comfortably.
+	n := 1024
+	g := hypergraph.New(n + 8)
+	for i := 1; i <= n; i++ {
+		for j := 0; j < 8; j++ {
+			g.AddEdge(1, hypergraph.NodeID(i), hypergraph.NodeID(n+1+j))
+		}
+	}
+	c, err := Compress(g, DefaultChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpe := float64(c.SizeBits()) / float64(g.NumEdges()); bpe > 8 {
+		t.Fatalf("bpe = %.2f on maximally repetitive input", bpe)
+	}
+}
+
+func TestChunkBoundaries(t *testing.T) {
+	// Edges only at chunk boundary nodes.
+	g := hypergraph.New(130)
+	g.AddEdge(1, 64, 1)
+	g.AddEdge(1, 65, 2)
+	g.AddEdge(1, 128, 3)
+	g.AddEdge(1, 129, 4)
+	c, err := Compress(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		v hypergraph.NodeID
+		w hypergraph.NodeID
+	}{{64, 1}, {65, 2}, {128, 3}, {129, 4}} {
+		got, err := c.OutNeighbors(tc.v)
+		if err != nil || len(got) != 1 || got[0] != tc.w {
+			t.Fatalf("node %d: %v %v", tc.v, got, err)
+		}
+	}
+	if _, err := c.OutNeighbors(0); err == nil {
+		t.Fatal("node 0 accepted")
+	}
+	if _, err := c.OutNeighbors(131); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	g := hypergraph.New(3)
+	g.AddEdge(1, 1, 2, 3)
+	if _, err := Compress(g, 64); err == nil {
+		t.Fatal("hyperedge accepted")
+	}
+	if _, err := Compress(hypergraph.New(1), 0); err == nil {
+		t.Fatal("chunk size 0 accepted")
+	}
+}

@@ -1,0 +1,211 @@
+// Package bitio provides MSB-first bit-level I/O and the universal
+// integer codes used by the grammar serialization format of
+// "Compressing Graphs by Grammars" (Maneth & Peternek, ICDE 2016):
+// Elias gamma and delta codes, fixed-width codes, and a succinct bit
+// vector with constant-time rank support (used by k²-trees).
+package bitio
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the
+// underlying bit stream.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Writer accumulates bits MSB-first into a byte slice.
+//
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // total number of bits written
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the written bits packed MSB-first, zero-padded to a
+// whole number of bytes. The returned slice aliases the writer's
+// internal buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit (any nonzero b writes 1).
+func (w *Writer) WriteBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteBool appends 1 for true and 0 for false.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
+// WriteBits appends the n lowest bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUnary appends v in unary: v zero bits followed by a one bit.
+func (w *Writer) WriteUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBit(1)
+}
+
+// WriteGamma appends v >= 1 in Elias gamma code.
+func (w *Writer) WriteGamma(v uint64) {
+	if v == 0 {
+		panic("bitio: gamma code requires v >= 1")
+	}
+	n := bits.Len64(v) // position of highest set bit, 1-based
+	w.WriteUnary(uint64(n - 1))
+	w.WriteBits(v, n-1) // remaining bits below the leading one
+}
+
+// WriteDelta appends v >= 1 in Elias delta code, the variable-length
+// code the paper uses for rule serialization (Sec. III-C2).
+func (w *Writer) WriteDelta(v uint64) {
+	if v == 0 {
+		panic("bitio: delta code requires v >= 1")
+	}
+	n := bits.Len64(v)
+	w.WriteGamma(uint64(n))
+	w.WriteBits(v, n-1)
+}
+
+// WriteDelta0 appends a non-negative v by delta-coding v+1. It is the
+// convenience used wherever zero is a legal value.
+func (w *Writer) WriteDelta0(v uint64) { w.WriteDelta(v + 1) }
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // next bit index
+}
+
+// NewReader returns a Reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Pos returns the index of the next bit to be read.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns how many bits are left, counting zero padding in
+// the final byte.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, ErrUnexpectedEOF
+	}
+	b := (r.buf[r.pos/8] >> (7 - uint(r.pos%8))) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBool reads a single bit as a boolean.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadBit()
+	return b == 1, err
+}
+
+// ReadBits reads n bits into the low end of the result, first bit most
+// significant. n must be in [0, 64].
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits width %d out of range", n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value (count of zeros before a one).
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// ReadGamma reads an Elias gamma coded value.
+func (r *Reader) ReadGamma() (uint64, error) {
+	n, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if n > 63 {
+		return 0, fmt.Errorf("bitio: gamma length %d too large", n)
+	}
+	rest, err := r.ReadBits(int(n))
+	if err != nil {
+		return 0, err
+	}
+	return 1<<n | rest, nil
+}
+
+// ReadDelta reads an Elias delta coded value.
+func (r *Reader) ReadDelta() (uint64, error) {
+	n, err := r.ReadGamma()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: delta length %d out of range", n)
+	}
+	rest, err := r.ReadBits(int(n - 1))
+	if err != nil {
+		return 0, err
+	}
+	return 1<<(n-1) | rest, nil
+}
+
+// ReadDelta0 reads a value written with WriteDelta0.
+func (r *Reader) ReadDelta0() (uint64, error) {
+	v, err := r.ReadDelta()
+	if err != nil {
+		return 0, err
+	}
+	return v - 1, nil
+}
+
+// DeltaLen returns the length in bits of the Elias delta code of v>=1.
+func DeltaLen(v uint64) int {
+	n := bits.Len64(v)
+	m := bits.Len64(uint64(n))
+	return (m - 1) + m + (n - 1) // gamma(n) is 2m-1 bits, then n-1 bits
+}

@@ -1,0 +1,174 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1011, 4)
+	w.WriteBit(1)
+	w.WriteBool(false)
+	w.WriteBits(0xDEADBEEF, 32)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("got %b", v)
+	}
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("expected 1 bit")
+	}
+	if b, _ := r.ReadBool(); b {
+		t.Fatal("expected false")
+	}
+	if v, _ := r.ReadBits(32); v != 0xDEADBEEF {
+		t.Fatalf("got %x", v)
+	}
+}
+
+func TestUnaryRoundtrip(t *testing.T) {
+	w := NewWriter()
+	for i := uint64(0); i < 20; i++ {
+		w.WriteUnary(i)
+	}
+	r := NewReader(w.Bytes())
+	for i := uint64(0); i < 20; i++ {
+		v, err := r.ReadUnary()
+		if err != nil || v != i {
+			t.Fatalf("unary %d: got %d err %v", i, v, err)
+		}
+	}
+}
+
+func TestGammaDeltaKnownValues(t *testing.T) {
+	// gamma(1) = "1", gamma(2) = "010", gamma(5) = "00101".
+	w := NewWriter()
+	w.WriteGamma(5)
+	if w.Len() != 5 {
+		t.Fatalf("gamma(5) length = %d, want 5", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadGamma(); v != 5 {
+		t.Fatalf("gamma roundtrip got %d", v)
+	}
+	// delta(1) = "1" (1 bit).
+	w = NewWriter()
+	w.WriteDelta(1)
+	if w.Len() != 1 {
+		t.Fatalf("delta(1) length = %d, want 1", w.Len())
+	}
+}
+
+func TestDeltaRoundtripProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		w := NewWriter()
+		for _, v := range vals {
+			w.WriteDelta(v%1<<40 + 1)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadDelta()
+			if err != nil || got != v%1<<40+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaLenMatchesWriter(t *testing.T) {
+	for _, v := range []uint64{1, 2, 3, 7, 8, 100, 1 << 20, 1<<40 + 17} {
+		w := NewWriter()
+		w.WriteDelta(v)
+		if w.Len() != DeltaLen(v) {
+			t.Errorf("DeltaLen(%d) = %d, writer wrote %d bits", v, DeltaLen(v), w.Len())
+		}
+	}
+}
+
+func TestDelta0(t *testing.T) {
+	w := NewWriter()
+	for i := uint64(0); i < 10; i++ {
+		w.WriteDelta0(i)
+	}
+	r := NewReader(w.Bytes())
+	for i := uint64(0); i < 10; i++ {
+		if v, _ := r.ReadDelta0(); v != i {
+			t.Fatalf("delta0 %d: got %d", i, v)
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestVectorRankBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 511, 512, 513, 5000} {
+		v := NewVector(n)
+		set := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				v.Set(i)
+				set[i] = true
+			}
+		}
+		v.BuildRank()
+		acc := 0
+		for i := 0; i <= n; i++ {
+			if got := v.Rank1(i); got != acc {
+				t.Fatalf("n=%d Rank1(%d) = %d, want %d", n, i, got, acc)
+			}
+			if i < n {
+				if v.Get(i) != set[i] {
+					t.Fatalf("Get(%d) mismatch", i)
+				}
+				if set[i] {
+					acc++
+				}
+			}
+		}
+	}
+}
+
+func TestVectorAppendAndBytes(t *testing.T) {
+	v := NewVector(0)
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for _, b := range pattern {
+		v.Append(b)
+	}
+	v.BuildRank()
+	if v.Len() != len(pattern) {
+		t.Fatalf("len = %d", v.Len())
+	}
+	// Roundtrip through Bytes/VectorFromBits.
+	v2 := VectorFromBits(v.Bytes(), v.Len())
+	for i, b := range pattern {
+		if v2.Get(i) != b {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestVectorWriterInterop(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101100111, 9)
+	v := VectorFromBits(w.Bytes(), 9)
+	want := []bool{true, false, true, true, false, false, true, true, true}
+	for i, b := range want {
+		if v.Get(i) != b {
+			t.Fatalf("bit %d: got %v", i, v.Get(i))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package bitio
+
+import "math/bits"
+
+// Vector is a fixed-length bit vector with O(1) rank support after
+// BuildRank. It backs the T (tree) bitmaps of k²-trees, where child
+// addressing needs rank1 over the internal-node bitmap.
+type Vector struct {
+	words []uint64
+	n     int
+	// ranks[i] = number of set bits in words[0:i*rankStride].
+	ranks []uint32
+}
+
+const rankStride = 8 // words per rank superblock (512 bits)
+
+// NewVector returns an all-zero vector of n bits.
+func NewVector(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// VectorFromBits builds a vector from a packed MSB-first byte slice as
+// produced by Writer.Bytes, truncated to n bits.
+func VectorFromBits(buf []byte, n int) *Vector {
+	v := NewVector(n)
+	for i := 0; i < n; i++ {
+		if buf[i/8]>>(7-uint(i%8))&1 == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to one. Rank structures must be (re)built afterwards.
+func (v *Vector) Set(i int) { v.words[i/64] |= 1 << uint(i%64) }
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool { return v.words[i/64]>>uint(i%64)&1 == 1 }
+
+// Append grows the vector by one bit. Only valid before BuildRank.
+func (v *Vector) Append(b bool) {
+	if v.n%64 == 0 {
+		v.words = append(v.words, 0)
+	}
+	if b {
+		v.words[v.n/64] |= 1 << uint(v.n%64)
+	}
+	v.n++
+}
+
+// BuildRank precomputes superblock ranks enabling O(1) Rank1.
+func (v *Vector) BuildRank() {
+	nb := len(v.words)/rankStride + 1
+	v.ranks = make([]uint32, nb)
+	var acc uint32
+	for i := 0; i < len(v.words); i++ {
+		if i%rankStride == 0 {
+			v.ranks[i/rankStride] = acc
+		}
+		acc += uint32(bits.OnesCount64(v.words[i]))
+	}
+	if len(v.words)%rankStride == 0 {
+		v.ranks[len(v.words)/rankStride] = acc
+	}
+}
+
+// Rank1 returns the number of set bits in positions [0, i).
+// BuildRank must have been called since the last mutation.
+func (v *Vector) Rank1(i int) int {
+	w := i / 64
+	sb := w / rankStride
+	acc := int(v.ranks[sb])
+	for j := sb * rankStride; j < w; j++ {
+		acc += bits.OnesCount64(v.words[j])
+	}
+	if r := uint(i % 64); r != 0 {
+		acc += bits.OnesCount64(v.words[w] & (1<<r - 1))
+	}
+	return acc
+}
+
+// Ones returns the total number of set bits.
+func (v *Vector) Ones() int { return v.Rank1(v.n) }
+
+// Bytes serializes the vector to MSB-first packed bytes (same layout
+// as Writer). Exactly ceil(n/8) bytes are produced.
+func (v *Vector) Bytes() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out
+}

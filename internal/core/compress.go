@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graphrepair/internal/grammar"
+	"graphrepair/internal/hypergraph"
+	"graphrepair/internal/order"
+)
+
+// Options configure gRePair. The zero value is not valid; use
+// DefaultOptions (maxRank 4 and the FP order, the configuration the
+// paper found best across its datasets).
+type Options struct {
+	// MaxRank is the maximal rank of a digram (and thus of any
+	// nonterminal); digrams of higher rank are not counted
+	// (Sec. III-B2). Must be >= 1.
+	MaxRank int
+	// Order is the node order steering occurrence counting
+	// (Sec. III-B1).
+	Order order.Kind
+	// Seed feeds the Random order (and nothing else).
+	Seed int64
+	// ConnectComponents enables the virtual-edge stage: after the main
+	// loop, disconnected components of the start graph are chained
+	// with virtual edges and the loop reruns, which lets repeated
+	// structure across components be shared (Sec. III-A, Fig. 13).
+	ConnectComponents bool
+	// SkipPrune disables the pruning phase (for experiments).
+	SkipPrune bool
+	// SinglePass disables the stage fixpoint: each stage runs the
+	// occurrence counting exactly once, as in a literal reading of the
+	// paper's algorithm (for ablation experiments).
+	SinglePass bool
+}
+
+// DefaultOptions returns the paper's recommended configuration.
+func DefaultOptions() Options {
+	return Options{MaxRank: 4, Order: order.FP, ConnectComponents: true}
+}
+
+// Stats reports what the compressor did.
+type Stats struct {
+	// Rounds is the number of digram replacement rounds (= rules
+	// created before pruning, including the virtual-edge stage).
+	Rounds int
+	// Replacements is the total number of occurrences replaced.
+	Replacements int
+	// RulesPruned counts rules removed by the pruning phase.
+	RulesPruned int
+	// VirtualEdges is the number of virtual edges added to connect
+	// components (0 if the graph was connected or the stage is off).
+	VirtualEdges int
+	// SkippedDuplicates counts occurrences skipped because replacing
+	// them would have created a second edge with identical label and
+	// attachment (which matrices could not represent).
+	SkippedDuplicates int
+	// FPClasses is |[≅FP]| of the input when the FP order was used
+	// (0 otherwise); the paper correlates it with compression.
+	FPClasses int
+}
+
+// Result is a compressed graph: a straight-line HR grammar whose
+// derivation is isomorphic to the input, plus bookkeeping.
+type Result struct {
+	Grammar *grammar.Grammar
+	Stats   Stats
+	// StartNodeMap maps input node IDs that survived in the start
+	// graph to their IDs after compaction (1..|V_S|).
+	StartNodeMap map[hypergraph.NodeID]hypergraph.NodeID
+}
+
+// virtualLabel is the reserved label of virtual connector edges; it
+// never appears in the final grammar.
+const virtualLabel hypergraph.Label = 0
+
+// Compress runs gRePair on a simple directed edge-labeled graph whose
+// labels are 1..terminals. The input graph is not modified.
+func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*Result, error) {
+	if opts.MaxRank < 1 {
+		return nil, fmt.Errorf("core: MaxRank %d out of range", opts.MaxRank)
+	}
+	for _, id := range g.Edges() {
+		e := g.Edge(id)
+		if e.Label < 1 || e.Label > terminals {
+			return nil, fmt.Errorf("core: edge %d has label %d outside 1..%d", id, e.Label, terminals)
+		}
+		if len(e.Att) != 2 {
+			return nil, fmt.Errorf("core: edge %d has rank %d; input must be a simple graph", id, len(e.Att))
+		}
+	}
+
+	c := &compressor{
+		g:     g.Clone(),
+		gram:  grammar.New(terminals, nil),
+		opts:  opts,
+		used:  make(map[int32]map[uint64]struct{}),
+		avail: make(map[hypergraph.NodeID]*availability),
+	}
+	c.gram.Start = c.g
+	c.edgeSet = make(map[uint64]int, c.g.NumEdges())
+	for _, id := range c.g.Edges() {
+		e := c.g.Edge(id)
+		c.edgeSet[hypergraph.EdgeKey(e.Label, e.Att)]++
+	}
+
+	// Stage 1: the main replacement loop, iterated to a fixpoint.
+	// The greedy per-node pairing can leave admissible pairs uncounted
+	// (an edge joins at most one occurrence per digram per pass), so a
+	// fresh occurrence count after convergence often finds more
+	// digrams; every extra pass strictly shrinks the graph or is the
+	// last (DESIGN.md §5).
+	c.runToFixpoint()
+
+	// Stage 2: connect components with virtual edges and rerun
+	// (Sec. III-A, "additional step"), then strip the virtual edges.
+	if opts.ConnectComponents {
+		if comps := c.g.WeakComponents(); len(comps) > 1 {
+			for i := 0; i+1 < len(comps); i++ {
+				id := c.g.AddEdge(virtualLabel, comps[i][0], comps[i+1][0])
+				c.edgeSet[hypergraph.EdgeKey(virtualLabel, c.g.Att(id))]++
+				c.stats.VirtualEdges++
+			}
+			c.runToFixpoint()
+			c.stripVirtualEdges()
+		}
+	}
+
+	if !opts.SkipPrune {
+		c.stats.RulesPruned = c.gram.Prune()
+	}
+	remap := c.g.Compact()
+	if err := c.gram.Validate(); err != nil {
+		return nil, fmt.Errorf("core: produced invalid grammar: %w", err)
+	}
+	return &Result{Grammar: c.gram, Stats: c.stats, StartNodeMap: remap}, nil
+}
+
+// availability is the per-node structure backing constant-time pairing
+// of new nonterminal edges (Sec. III-C1): for every effLabel a stack
+// of candidate edges. Entries are popped at most once; dead or blocked
+// candidates are discarded, which keeps the total pairing work linear
+// in the node's degree across all replacements.
+type availability struct {
+	keys   []effLabel
+	stacks map[effLabel][]hypergraph.EdgeID
+}
+
+func (a *availability) push(l effLabel, id hypergraph.EdgeID) {
+	if _, ok := a.stacks[l]; !ok {
+		i := sort.Search(len(a.keys), func(i int) bool { return a.keys[i] >= l })
+		a.keys = append(a.keys, 0)
+		copy(a.keys[i+1:], a.keys[i:])
+		a.keys[i] = l
+	}
+	a.stacks[l] = append(a.stacks[l], id)
+}
+
+type compressor struct {
+	g    *hypergraph.Graph
+	gram *grammar.Grammar
+	opts Options
+	ord  *order.Result
+
+	digrams map[digramKey]*digramInfo
+	// digramList holds digrams in first-seen order; map iteration is
+	// never used for anything order-sensitive, keeping runs
+	// deterministic.
+	digramList []*digramInfo
+	pq         *bucketQueue
+	// occsOf lists the occurrences containing each edge (indexed by
+	// edge ID; grows as nonterminal edges are created).
+	occsOf [][]*occurrence
+	// used holds, per edge, the hashed digram keys the edge already
+	// joined an occurrence of — guaranteeing each digram's occurrence
+	// list is non-overlapping.
+	used map[int32]map[uint64]struct{}
+	// edgeSet counts alive edges by (label, attachment) hash, to veto
+	// duplicate-creating replacements.
+	edgeSet map[uint64]int
+	// avail holds lazily built per-node pairing stacks.
+	avail map[hypergraph.NodeID]*availability
+
+	ranks map[hypergraph.Label]int // ranks of created nonterminals
+	stats Stats
+}
+
+// runToFixpoint repeats runStage until a pass creates no further
+// replacements. Termination: every pass with replacements removes at
+// least two edges per created rule.
+func (c *compressor) runToFixpoint() {
+	for {
+		before := c.stats.Replacements
+		c.runStage()
+		if c.opts.SinglePass || c.stats.Replacements == before {
+			return
+		}
+	}
+}
+
+// runStage performs one full run of steps 2–7 of the algorithm:
+// count occurrences along the node order, then repeatedly replace the
+// most frequent digram until no digram has two live occurrences.
+func (c *compressor) runStage() {
+	c.digrams = make(map[digramKey]*digramInfo)
+	c.digramList = c.digramList[:0]
+	c.pq = newBucketQueue(c.g.NumEdges())
+	c.occsOf = make([][]*occurrence, c.g.MaxEdgeID())
+	c.used = make(map[int32]map[uint64]struct{})
+	c.avail = make(map[hypergraph.NodeID]*availability)
+	if c.ranks == nil {
+		c.ranks = make(map[hypergraph.Label]int)
+	}
+
+	c.ord = order.Compute(c.g, c.opts.Order, c.opts.Seed)
+	if c.opts.Order == order.FP && c.stats.FPClasses == 0 {
+		c.stats.FPClasses = c.ord.Classes
+	}
+
+	// Step 2: initial occurrence counting in ω order.
+	for _, u := range c.ord.Seq {
+		c.countAround(u)
+	}
+	for _, d := range c.digramList {
+		c.pq.update(d)
+	}
+
+	// Steps 3–7.
+	for {
+		d := c.pq.popMax()
+		if d == nil {
+			return
+		}
+		c.replaceDigram(d)
+	}
+}
+
+// countAround enumerates O(deg) candidate pairs centered at u: the
+// incident edges are grouped by effLabel, and groups are zipped
+// pairwise (Sec. III-C1 "occurrence lists").
+func (c *compressor) countAround(u hypergraph.NodeID) {
+	keys, groups := groupIncident(c.g, u)
+	for i, ki := range keys {
+		gi := groups[ki]
+		// Same-group pairs: consecutive edges.
+		for m := 0; m+1 < len(gi); m += 2 {
+			c.tryCount(u, gi[m], gi[m+1])
+		}
+		for j := i + 1; j < len(keys); j++ {
+			gj := groups[keys[j]]
+			n := len(gi)
+			if len(gj) < n {
+				n = len(gj)
+			}
+			for m := 0; m < n; m++ {
+				c.tryCount(u, gi[m], gj[m])
+			}
+		}
+	}
+}
+
+// tryCount registers {x, y} as an occurrence of its digram if it is
+// admissible: rank within bounds, not double-counted at another shared
+// node, and neither edge already in an occurrence of the same digram.
+// It returns the digram the occurrence was added to, or nil.
+func (c *compressor) tryCount(u hypergraph.NodeID, x, y hypergraph.EdgeID) *digramInfo {
+	if x == y {
+		return nil
+	}
+	co := canonicalize(c.g, x, y)
+	r := co.rank()
+	if r < 1 || r > c.opts.MaxRank {
+		return nil
+	}
+	// Pairs sharing several nodes are counted only at the ω-smallest
+	// shared node, so the same pair is never registered twice.
+	if len(co.shared) > 1 {
+		for _, s := range co.shared {
+			if c.ord.Pos[s] < c.ord.Pos[u] {
+				return nil
+			}
+		}
+	}
+	h := keyHash(co.key)
+	if c.keyUsed(x, h) || c.keyUsed(y, h) {
+		return nil
+	}
+
+	d := c.digrams[co.key]
+	if d == nil {
+		d = &digramInfo{key: co.key, queuedAt: -1}
+		c.digrams[co.key] = d
+		c.digramList = append(c.digramList, d)
+	}
+	if d.retired {
+		return nil
+	}
+	occ := &occurrence{e1: int32(x), e2: int32(y), dig: d}
+	d.occs = append(d.occs, occ)
+	d.count++
+	c.addOcc(x, occ)
+	c.addOcc(y, occ)
+	c.markUsed(x, h)
+	c.markUsed(y, h)
+	return d
+}
+
+func (c *compressor) addOcc(e hypergraph.EdgeID, o *occurrence) {
+	for int(e) >= len(c.occsOf) {
+		c.occsOf = append(c.occsOf, nil)
+	}
+	c.occsOf[e] = append(c.occsOf[e], o)
+}
+
+func (c *compressor) keyUsed(e hypergraph.EdgeID, h uint64) bool {
+	s := c.used[int32(e)]
+	if s == nil {
+		return false
+	}
+	_, ok := s[h]
+	return ok
+}
+
+func (c *compressor) markUsed(e hypergraph.EdgeID, h uint64) {
+	s := c.used[int32(e)]
+	if s == nil {
+		s = make(map[uint64]struct{}, 4)
+		c.used[int32(e)] = s
+	}
+	s[h] = struct{}{}
+}
+
+// replaceDigram performs steps 4–6 for the selected digram: creates a
+// fresh nonterminal, replaces every live occurrence, invalidates
+// overlapping occurrences of other digrams, and pairs each new
+// nonterminal edge with available neighboring edges.
+func (c *compressor) replaceDigram(d *digramInfo) {
+	d.retired = true
+	var live []*occurrence
+	for _, o := range d.occs {
+		if !o.dead && c.g.HasEdge(hypergraph.EdgeID(o.e1)) && c.g.HasEdge(hypergraph.EdgeID(o.e2)) {
+			live = append(live, o)
+		}
+	}
+	if len(live) < 2 {
+		return
+	}
+
+	var nt hypergraph.Label
+	for _, o := range live {
+		// Earlier replacements in this loop never consume edges of
+		// later occurrences (lists are non-overlapping), but guard
+		// against it anyway.
+		if o.dead || !c.g.HasEdge(hypergraph.EdgeID(o.e1)) || !c.g.HasEdge(hypergraph.EdgeID(o.e2)) {
+			continue
+		}
+		co := canonicalize(c.g, hypergraph.EdgeID(o.e1), hypergraph.EdgeID(o.e2))
+		if co.key != d.key {
+			continue // defensive: context drifted (should not happen)
+		}
+		att := co.attachmentNodes()
+		if nt == 0 {
+			// First admissible occurrence: materialize the rule.
+			nt = c.gram.AddRule(ruleGraph(c.g, &co))
+			c.ranks[nt] = co.rank()
+			c.stats.Rounds++
+		}
+		// Rank-2 edges are encoded per label as adjacency matrices,
+		// which cannot represent parallel edges, so a replacement that
+		// would duplicate an existing (label, source, target) edge is
+		// skipped. Edges of other ranks live in incidence matrices
+		// (one column per edge) where parallel edges are fine.
+		ek := hypergraph.EdgeKey(nt, att)
+		if len(att) == 2 && c.edgeSet[ek] > 0 {
+			c.stats.SkippedDuplicates++
+			continue
+		}
+		c.replaceOccurrence(o, &co, nt, ek)
+	}
+}
+
+// replaceOccurrence removes the two occurrence edges and the internal
+// nodes, inserts the nonterminal edge, and updates occurrence lists.
+func (c *compressor) replaceOccurrence(o *occurrence, co *canonOcc, nt hypergraph.Label, ek uint64) {
+	g := c.g
+	for _, e := range []hypergraph.EdgeID{hypergraph.EdgeID(o.e1), hypergraph.EdgeID(o.e2)} {
+		// Invalidate every other occurrence using e.
+		for _, other := range c.occsOf[e] {
+			if other == o || other.dead {
+				continue
+			}
+			other.dead = true
+			other.dig.count--
+			c.pq.update(other.dig)
+		}
+		c.occsOf[e] = nil
+		c.edgeSet[hypergraph.EdgeKey(g.Label(e), g.Att(e))]--
+		g.RemoveEdge(e)
+	}
+	o.dead = true
+	o.dig.count--
+
+	for _, v := range co.removalNodes() {
+		g.RemoveNode(v)
+		delete(c.avail, v)
+	}
+
+	att := co.attachmentNodes()
+	id := g.AddEdge(nt, att...)
+	c.edgeSet[ek]++
+	c.stats.Replacements++
+
+	// Step 6: pair the new edge with one available neighbor per
+	// effLabel group around each attachment node.
+	for _, v := range att {
+		c.pairNewEdge(id, v)
+	}
+	// Make the new edge available for future pairings.
+	for pos, v := range att {
+		if a := c.avail[v]; a != nil {
+			a.push(makeEffLabel(nt, pos), id)
+		}
+	}
+}
+
+// pairNewEdge pairs nonterminal edge id with at most one candidate per
+// effLabel group at node v, popping candidates from the availability
+// stacks (each edge is offered at most once per node and group, which
+// bounds total pairing work by the node degree).
+func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
+	a := c.avail[v]
+	if a == nil {
+		a = &availability{stacks: make(map[effLabel][]hypergraph.EdgeID)}
+		keys, groups := groupIncident(c.g, v)
+		for _, k := range keys {
+			grp := groups[k]
+			// Reverse so that pop order follows incidence order.
+			for i, j := 0, len(grp)-1; i < j; i, j = i+1, j-1 {
+				grp[i], grp[j] = grp[j], grp[i]
+			}
+			a.keys = append(a.keys, k)
+			a.stacks[k] = grp
+		}
+		c.avail[v] = a
+	}
+	for ki := 0; ki < len(a.keys); ki++ {
+		k := a.keys[ki]
+		stack := a.stacks[k]
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f == id || !c.g.HasEdge(f) {
+				continue
+			}
+			if d := c.tryCount(v, id, f); d != nil {
+				c.pq.update(d)
+				break
+			}
+		}
+		a.stacks[k] = stack
+	}
+}
+
+// stripVirtualEdges deletes every virtual edge from the start graph
+// and all right-hand sides (they were only scaffolding for the second
+// stage; the derived graph must not contain them).
+func (c *compressor) stripVirtualEdges() {
+	strip := func(h *hypergraph.Graph) {
+		for _, id := range h.Edges() {
+			if h.Label(id) == virtualLabel {
+				h.RemoveEdge(id)
+			}
+		}
+	}
+	strip(c.g)
+	for _, l := range c.gram.Nonterminals() {
+		strip(c.gram.Rule(l))
+	}
+}

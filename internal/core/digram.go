@@ -1,0 +1,234 @@
+// Package core implements gRePair, the grammar-based graph compressor
+// of "Compressing Graphs by Grammars" (Maneth & Peternek, ICDE 2016,
+// Sec. III). It repeatedly replaces the most frequent digram — a pair
+// of connected (hyper)edges — by a fresh nonterminal edge, producing a
+// straight-line hyperedge replacement grammar, and finally prunes
+// rules that do not contribute to compression.
+//
+// This is the paper's primary contribution; every design deviation
+// from the paper's description is documented in DESIGN.md §5.
+package core
+
+import (
+	"sort"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// digramKey canonically identifies a digram (Def. 2): the labels and
+// ranks of the two edges, the attachment-overlap pattern, and the
+// external-node flags. Occurrences with equal keys are occurrences of
+// the same digram, and the key fully determines the digram hypergraph
+// (the right-hand side of the rule introduced for it).
+type digramKey string
+
+// canonOcc is the canonical form of one occurrence {e1, e2}: the
+// oriented edge pair, the local node table, and the digram key.
+type canonOcc struct {
+	a, b   hypergraph.EdgeID
+	locals []hypergraph.NodeID // local index → graph node
+	extLoc []int               // ascending local indices of external nodes
+	shared []hypergraph.NodeID // nodes attached to both edges
+	key    digramKey
+}
+
+// rank returns the digram's rank (number of external nodes).
+func (c *canonOcc) rank() int { return len(c.extLoc) }
+
+// attachmentNodes returns the graph nodes a replacing nonterminal edge
+// attaches to, in external order.
+func (c *canonOcc) attachmentNodes() []hypergraph.NodeID {
+	out := make([]hypergraph.NodeID, len(c.extLoc))
+	for i, l := range c.extLoc {
+		out[i] = c.locals[l]
+	}
+	return out
+}
+
+// removalNodes returns the graph nodes internal to the occurrence
+// (to be deleted on replacement).
+func (c *canonOcc) removalNodes() []hypergraph.NodeID {
+	var out []hypergraph.NodeID
+	ext := make(map[int]bool, len(c.extLoc))
+	for _, l := range c.extLoc {
+		ext[l] = true
+	}
+	for i, v := range c.locals {
+		if !ext[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// buildOriented computes the canonical form for the ordered pair
+// (a, b). Externality follows Def. 3(3): a node of the occurrence is
+// external iff it is incident with an edge other than a and b.
+func buildOriented(g *hypergraph.Graph, a, b hypergraph.EdgeID) canonOcc {
+	attA, attB := g.Att(a), g.Att(b)
+	locals := make([]hypergraph.NodeID, 0, len(attA)+len(attB))
+	idx := make(map[hypergraph.NodeID]int, len(attA)+len(attB))
+	add := func(v hypergraph.NodeID) int {
+		if i, ok := idx[v]; ok {
+			return i
+		}
+		idx[v] = len(locals)
+		locals = append(locals, v)
+		return len(locals) - 1
+	}
+	for _, v := range attA {
+		add(v)
+	}
+	pat := make([]int, len(attB))
+	var shared []hypergraph.NodeID
+	for i, v := range attB {
+		if j, ok := idx[v]; ok && j < len(attA) {
+			shared = append(shared, v)
+		}
+		pat[i] = add(v)
+	}
+
+	var extLoc []int
+	extFlags := make([]byte, len(locals))
+	for i, v := range locals {
+		// v is attached to a, to b, or to both; it is external iff it
+		// has more alive incident edges than that.
+		inPair := 0
+		if g.AttPos(a, v) >= 0 {
+			inPair++
+		}
+		if g.AttPos(b, v) >= 0 {
+			inPair++
+		}
+		if g.Degree(v) > inPair {
+			extFlags[i] = 1
+			extLoc = append(extLoc, i)
+		}
+	}
+
+	// Key: labels, ranks, overlap pattern of b, external flags.
+	kb := make([]byte, 0, 8+len(pat)+len(extFlags))
+	put32 := func(x uint32) {
+		kb = append(kb, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	put32(uint32(g.Label(a)))
+	put32(uint32(g.Label(b)))
+	kb = append(kb, byte(len(attA)), byte(len(attB)))
+	for _, p := range pat {
+		kb = append(kb, byte(p))
+	}
+	kb = append(kb, 0xFF)
+	kb = append(kb, extFlags...)
+
+	return canonOcc{a: a, b: b, locals: locals, extLoc: extLoc,
+		shared: shared, key: digramKey(kb)}
+}
+
+// canonicalize computes the canonical occurrence for an unordered edge
+// pair: the edge with the smaller label goes first; on equal labels
+// the orientation with the lexicographically smaller key wins, which
+// makes the canonical form independent of the order the pair was
+// discovered in.
+func canonicalize(g *hypergraph.Graph, e1, e2 hypergraph.EdgeID) canonOcc {
+	l1, l2 := g.Label(e1), g.Label(e2)
+	switch {
+	case l1 < l2:
+		return buildOriented(g, e1, e2)
+	case l2 < l1:
+		return buildOriented(g, e2, e1)
+	default:
+		c1 := buildOriented(g, e1, e2)
+		c2 := buildOriented(g, e2, e1)
+		if c1.key != c2.key {
+			if c1.key < c2.key {
+				return c1
+			}
+			return c2
+		}
+		// Equal keys: both orientations describe the same digram, but
+		// the local node order (and hence the attachment order of the
+		// replacing edge) may differ; break the tie on the local node
+		// sequence so the canonical form does not depend on argument
+		// order.
+		for i := range c1.locals {
+			if c1.locals[i] != c2.locals[i] {
+				if c1.locals[i] < c2.locals[i] {
+					return c1
+				}
+				return c2
+			}
+		}
+		return c1
+	}
+}
+
+// ruleGraph materializes the digram hypergraph for a canonical
+// occurrence: nodes 1..len(locals) standing for the local nodes,
+// the two edges with their labels, and the external sequence in
+// ascending local order (so external-node IDs are ascending, as the
+// encoder requires).
+func ruleGraph(g *hypergraph.Graph, c *canonOcc) *hypergraph.Graph {
+	rhs := hypergraph.New(len(c.locals))
+	node := func(v hypergraph.NodeID) hypergraph.NodeID {
+		for i, u := range c.locals {
+			if u == v {
+				return hypergraph.NodeID(i + 1)
+			}
+		}
+		panic("core: ruleGraph: node not local")
+	}
+	for _, e := range []hypergraph.EdgeID{c.a, c.b} {
+		att := g.Att(e)
+		mapped := make([]hypergraph.NodeID, len(att))
+		for i, v := range att {
+			mapped[i] = node(v)
+		}
+		rhs.AddEdge(g.Label(e), mapped...)
+	}
+	ext := make([]hypergraph.NodeID, len(c.extLoc))
+	for i, l := range c.extLoc {
+		ext[i] = hypergraph.NodeID(l + 1)
+	}
+	rhs.SetExt(ext...)
+	return rhs
+}
+
+// effLabel packs (label, attachment position) into one comparable
+// value. Two edges around a node form candidate pairs per ordered
+// group pair of effLabels; for rank-2 edges this specializes to
+// (label, direction), the grouping Sec. III-C1 describes.
+type effLabel uint64
+
+func makeEffLabel(label hypergraph.Label, pos int) effLabel {
+	return effLabel(uint64(uint32(label))<<8 | uint64(uint8(pos)))
+}
+
+// groupIncident groups the alive edges incident with v by effLabel,
+// returning the groups in ascending effLabel order (deterministic).
+func groupIncident(g *hypergraph.Graph, v hypergraph.NodeID) (keys []effLabel, groups map[effLabel][]hypergraph.EdgeID) {
+	groups = make(map[effLabel][]hypergraph.EdgeID)
+	for _, id := range g.Incident(v) {
+		l := makeEffLabel(g.Label(id), g.AttPos(id, v))
+		if _, ok := groups[l]; !ok {
+			keys = append(keys, l)
+		}
+		groups[l] = append(groups[l], id)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, groups
+}
+
+// keyHash is a 64-bit FNV-1a hash of a digram key, used for the
+// per-edge used-key sets (false positives only block a candidate
+// pairing, never affect correctness).
+func keyHash(k digramKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h = (h ^ uint64(k[i])) * prime64
+	}
+	return h
+}

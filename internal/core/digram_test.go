@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// randomAdjacentPair builds a random graph and returns a pair of edges
+// sharing at least one node (or ok=false).
+func randomAdjacentPair(rng *rand.Rand) (*hypergraph.Graph, hypergraph.EdgeID, hypergraph.EdgeID, bool) {
+	n := 3 + rng.Intn(10)
+	g := hypergraph.New(n)
+	for i := 0; i < 3*n; i++ {
+		u := hypergraph.NodeID(1 + rng.Intn(n))
+		v := hypergraph.NodeID(1 + rng.Intn(n))
+		if u != v {
+			g.AddEdge(hypergraph.Label(1+rng.Intn(3)), u, v)
+		}
+	}
+	edges := g.Edges()
+	for try := 0; try < 50; try++ {
+		if len(edges) < 2 {
+			return nil, 0, 0, false
+		}
+		e1 := edges[rng.Intn(len(edges))]
+		e2 := edges[rng.Intn(len(edges))]
+		if e1 == e2 {
+			continue
+		}
+		shared := false
+		for _, a := range g.Att(e1) {
+			for _, b := range g.Att(e2) {
+				if a == b {
+					shared = true
+				}
+			}
+		}
+		if shared {
+			return g, e1, e2, true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// Property: the canonical form is symmetric in its arguments — both
+// argument orders produce the same digram key, the same external set
+// and the same attachment order.
+func TestCanonicalizeSymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, e1, e2, ok := randomAdjacentPair(rng)
+		if !ok {
+			return true
+		}
+		a := canonicalize(g, e1, e2)
+		b := canonicalize(g, e2, e1)
+		if a.key != b.key {
+			return false
+		}
+		an, bn := a.attachmentNodes(), b.attachmentNodes()
+		if len(an) != len(bn) {
+			return false
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: attachment and removal nodes partition the occurrence's
+// node set, externality matches Def. 3(3), and the rule graph built
+// from the occurrence has ascending external IDs and the digram's
+// rank.
+func TestCanonicalOccurrenceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, e1, e2, ok := randomAdjacentPair(rng)
+		if !ok {
+			return true
+		}
+		co := canonicalize(g, e1, e2)
+		att := co.attachmentNodes()
+		rem := co.removalNodes()
+		if len(att)+len(rem) != len(co.locals) {
+			return false
+		}
+		// Externality: att nodes have other incident edges; removal
+		// nodes are covered entirely by the pair.
+		inPair := func(v hypergraph.NodeID) int {
+			c := 0
+			if g.AttPos(e1, v) >= 0 {
+				c++
+			}
+			if g.AttPos(e2, v) >= 0 {
+				c++
+			}
+			return c
+		}
+		for _, v := range att {
+			if g.Degree(v) <= inPair(v) {
+				return false
+			}
+		}
+		for _, v := range rem {
+			if g.Degree(v) != inPair(v) {
+				return false
+			}
+		}
+		if co.rank() < 1 || co.rank() > 4 {
+			return true // ruleGraph only invoked for admissible ranks
+		}
+		rhs := ruleGraph(g, &co)
+		if rhs.Rank() != co.rank() || rhs.NumEdges() != 2 {
+			return false
+		}
+		prev := hypergraph.NodeID(0)
+		for _, x := range rhs.Ext() {
+			if x <= prev {
+				return false // encoder requires ascending externals
+			}
+			prev = x
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal keys imply isomorphic rule graphs — the key fully
+// determines the digram (two occurrences with the same key are
+// occurrences of the same digram, Def. 3).
+func TestKeyDeterminesRuleGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	byKey := map[digramKey]*hypergraph.Graph{}
+	for trial := 0; trial < 400; trial++ {
+		g, e1, e2, ok := randomAdjacentPair(rng)
+		if !ok {
+			continue
+		}
+		co := canonicalize(g, e1, e2)
+		rhs := ruleGraph(g, &co)
+		if prev, seen := byKey[co.key]; seen {
+			if !hypergraph.EqualHyper(prev, rhs) {
+				t.Fatalf("same key, different rule graphs")
+			}
+		} else {
+			byKey[co.key] = rhs
+		}
+	}
+	if len(byKey) < 5 {
+		t.Fatal("test generated too few distinct digrams to be meaningful")
+	}
+}
+
+func TestEffLabelGrouping(t *testing.T) {
+	g := hypergraph.New(4)
+	g.AddEdge(1, 1, 2) // at node 2: (1, pos1)
+	g.AddEdge(1, 3, 2) // at node 2: (1, pos1)
+	g.AddEdge(1, 2, 4) // at node 2: (1, pos0)
+	g.AddEdge(2, 2, 3) // at node 2: (2, pos0)
+	keys, groups := groupIncident(g, 2)
+	if len(keys) != 3 {
+		t.Fatalf("groups = %d, want 3", len(keys))
+	}
+	total := 0
+	for _, k := range keys {
+		total += len(groups[k])
+	}
+	if total != 4 {
+		t.Fatalf("grouped %d edges, want 4", total)
+	}
+	// Keys are sorted ascending.
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("group keys not sorted")
+		}
+	}
+}
+
+func TestKeyHashStability(t *testing.T) {
+	if keyHash("abc") != keyHash("abc") {
+		t.Fatal("hash not deterministic")
+	}
+	if keyHash("abc") == keyHash("abd") {
+		t.Fatal("suspicious collision on near keys")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+// occurrence is one counted, non-overlapping occurrence of a digram.
+// It stays registered in the occurrence lists of both of its edges;
+// when either edge is consumed by another replacement the occurrence
+// is invalidated and its digram's count decremented (the "update
+// occurrence lists" step, Sec. III-A2).
+type occurrence struct {
+	e1, e2 int32 // edge IDs
+	dead   bool
+	dig    *digramInfo
+}
+
+// digramInfo tracks one active digram: its occurrence list and its
+// position in the frequency priority queue.
+type digramInfo struct {
+	key      digramKey
+	occs     []*occurrence
+	count    int // live occurrences
+	queuedAt int // bucket the digram was last enqueued into (-1: none)
+	retired  bool
+}
+
+// bucketQueue is the √n-bucket priority queue of Larsson & Moffat
+// (Sec. III-C1 data structures): bucket i holds digrams with i live
+// occurrences; the last bucket holds every digram with ≥ B
+// occurrences. Entries are updated lazily: a digram may appear in
+// several buckets, and stale entries are discarded on pop.
+type bucketQueue struct {
+	buckets [][]*digramInfo
+	b       int // max bucket index (≈ √|E|)
+	hi      int // highest bucket that may be non-empty
+}
+
+func newBucketQueue(numEdges int) *bucketQueue {
+	b := 2
+	for b*b < numEdges {
+		b++
+	}
+	if b < 2 {
+		b = 2
+	}
+	return &bucketQueue{buckets: make([][]*digramInfo, b+1), b: b}
+}
+
+func (q *bucketQueue) bucketFor(count int) int {
+	if count > q.b {
+		return q.b
+	}
+	return count
+}
+
+// update (re-)enqueues d according to its current count. Digrams with
+// fewer than two occurrences are not active and are left to expire.
+func (q *bucketQueue) update(d *digramInfo) {
+	if d.retired || d.count < 2 {
+		return
+	}
+	bk := q.bucketFor(d.count)
+	if d.queuedAt == bk {
+		return
+	}
+	d.queuedAt = bk
+	q.buckets[bk] = append(q.buckets[bk], d)
+	if bk > q.hi {
+		q.hi = bk
+	}
+}
+
+// popMax removes and returns an active digram of maximal frequency,
+// or nil when no digram has at least two live occurrences. Within the
+// overflow bucket (counts ≥ B) the true maximum is selected by scan.
+func (q *bucketQueue) popMax() *digramInfo {
+	for q.hi >= 2 {
+		bucket := q.buckets[q.hi]
+		// Drop stale entries from the tail.
+		for len(bucket) > 0 {
+			d := bucket[len(bucket)-1]
+			if d.retired || d.count < 2 || q.bucketFor(d.count) != q.hi || d.queuedAt != q.hi {
+				bucket = bucket[:len(bucket)-1]
+				q.buckets[q.hi] = bucket
+				if !d.retired && d.count >= 2 {
+					// Re-enqueue into its correct bucket.
+					d.queuedAt = -1
+					q.update(d)
+				}
+				continue
+			}
+			break
+		}
+		if len(bucket) == 0 {
+			q.hi--
+			continue
+		}
+		// In the overflow bucket counts differ; pick the true max.
+		pick := len(bucket) - 1
+		if q.hi == q.b {
+			for i := range bucket {
+				d := bucket[i]
+				if d.retired || d.count < 2 || d.queuedAt != q.hi {
+					continue
+				}
+				if bucket[pick].retired || d.count > bucket[pick].count {
+					pick = i
+				}
+			}
+		}
+		d := bucket[pick]
+		bucket[pick] = bucket[len(bucket)-1]
+		q.buckets[q.hi] = bucket[:len(bucket)-1]
+		if d.retired || d.count < 2 || d.queuedAt != q.hi {
+			continue // stale after all; loop again
+		}
+		return d
+	}
+	return nil
+}

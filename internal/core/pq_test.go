@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mkDigram(count int) *digramInfo {
+	return &digramInfo{key: digramKey("k"), count: count, queuedAt: -1}
+}
+
+func TestBucketQueueBasicMax(t *testing.T) {
+	q := newBucketQueue(100) // B = 10
+	d3, d7, d2 := mkDigram(3), mkDigram(7), mkDigram(2)
+	q.update(d3)
+	q.update(d7)
+	q.update(d2)
+	if got := q.popMax(); got != d7 {
+		t.Fatalf("popMax = %v, want count-7 digram", got)
+	}
+	d7.retired = true
+	if got := q.popMax(); got != d3 {
+		t.Fatal("second pop wrong")
+	}
+	d3.retired = true
+	if got := q.popMax(); got != d2 {
+		t.Fatal("third pop wrong")
+	}
+	d2.retired = true
+	if got := q.popMax(); got != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestBucketQueueOverflowBucketExactMax(t *testing.T) {
+	q := newBucketQueue(16) // B = 4: counts ≥ 4 share the top bucket
+	d5, d50, d9 := mkDigram(5), mkDigram(50), mkDigram(9)
+	q.update(d5)
+	q.update(d50)
+	q.update(d9)
+	if got := q.popMax(); got != d50 {
+		t.Fatalf("overflow bucket scan picked count %d, want 50", got.count)
+	}
+}
+
+func TestBucketQueueStaleEntriesSkipped(t *testing.T) {
+	q := newBucketQueue(100)
+	d := mkDigram(8)
+	q.update(d)
+	// Count decays below 2: digram must not be returned.
+	d.count = 1
+	if got := q.popMax(); got != nil {
+		t.Fatalf("inactive digram returned (count %d)", got.count)
+	}
+	// Count recovers: re-update re-enqueues.
+	d.count = 5
+	q.update(d)
+	if got := q.popMax(); got != d {
+		t.Fatal("recovered digram not returned")
+	}
+}
+
+func TestBucketQueueReEnqueueOnCountChange(t *testing.T) {
+	q := newBucketQueue(100)
+	d := mkDigram(9)
+	q.update(d)
+	d.count = 3 // decayed but still active
+	q.update(d)
+	if got := q.popMax(); got != d {
+		t.Fatal("digram lost after decay")
+	}
+	d.retired = true
+	if q.popMax() != nil {
+		t.Fatal("duplicate entry returned after retirement")
+	}
+}
+
+// Randomized model check: the queue always pops an active digram with
+// the maximal current count.
+func TestBucketQueueModelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		q := newBucketQueue(1 + rng.Intn(200))
+		var all []*digramInfo
+		for i := 0; i < 30; i++ {
+			d := mkDigram(rng.Intn(25))
+			all = append(all, d)
+			q.update(d)
+		}
+		for step := 0; step < 40; step++ {
+			// Random count mutations.
+			d := all[rng.Intn(len(all))]
+			if !d.retired {
+				d.count = rng.Intn(25)
+				q.update(d)
+			}
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			got := q.popMax()
+			// Model: the maximal active count.
+			best := 0
+			for _, x := range all {
+				if !x.retired && x.count >= 2 && x.count > best {
+					best = x.count
+				}
+			}
+			if best == 0 {
+				if got != nil {
+					t.Fatalf("trial %d: popped from empty model", trial)
+				}
+				continue
+			}
+			if got == nil {
+				t.Fatalf("trial %d: queue empty but model has count %d", trial, best)
+			}
+			if got.retired || got.count < 2 {
+				t.Fatalf("trial %d: popped inactive digram", trial)
+			}
+			if got.count != best {
+				t.Fatalf("trial %d: popped count %d, max is %d", trial, got.count, best)
+			}
+			got.retired = true
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrepair/internal/core"
+	"graphrepair/internal/hypergraph"
+)
+
+// TestDecodeNeverPanics is failure injection for the decoder: random
+// bit flips and truncations must yield an error or a valid grammar,
+// never a panic — a corrupted file must not crash a reader process.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := hypergraph.New(30)
+	for i := 0; i < 80; i++ {
+		u := hypergraph.NodeID(1 + rng.Intn(30))
+		v := hypergraph.NodeID(1 + rng.Intn(30))
+		if u != v {
+			g.AddEdge(hypergraph.Label(1+rng.Intn(2)), u, v)
+		}
+	}
+	res, err := core.Compress(g, 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := Encode(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tryDecode := func(b []byte, what string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decode panicked on %s: %v", what, r)
+			}
+		}()
+		gram, err := Decode(b)
+		if err != nil {
+			return // rejecting corruption is the expected outcome
+		}
+		// If it parsed, it must at least be a valid grammar whose
+		// derivation terminates under a size guard.
+		if _, derr := gram.Derive(1 << 20); derr != nil {
+			return
+		}
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		b := append([]byte(nil), buf...)
+		switch trial % 3 {
+		case 0: // single bit flip
+			i := rng.Intn(len(b))
+			b[i] ^= 1 << uint(rng.Intn(8))
+			tryDecode(b, "bit flip")
+		case 1: // truncation
+			tryDecode(b[:rng.Intn(len(b))], "truncation")
+		case 2: // byte scramble in a window
+			i := rng.Intn(len(b))
+			j := i + 1 + rng.Intn(8)
+			if j > len(b) {
+				j = len(b)
+			}
+			rng.Read(b[i:j])
+			tryDecode(b, "scramble")
+		}
+	}
+}

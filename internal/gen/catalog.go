@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// entry describes one catalog dataset: the paper's graph it stands in
+// for, the target sizes from Tables I–III, and its generator.
+type entry struct {
+	kind  string
+	build func(scale int) *Dataset
+}
+
+// scaleDown divides a paper-scale count by the scale factor, keeping a
+// sensible minimum.
+func scaleDown(x, scale, min int) int {
+	v := x / scale
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// catalog maps dataset names to generators. Sizes at scale 1 match the
+// paper's Tables I–III; larger scales shrink graphs proportionally for
+// test/bench runs (the reported experiments state their scale).
+var catalog = map[string]entry{
+	// ——— Network graphs (Table I) ———
+	"ca-astroph": {"network", func(s int) *Dataset {
+		g := Coauthorship(scaleDown(18772, s, 200), scaleDown(396160, s, 2000), 6, 101)
+		return &Dataset{Name: "ca-astroph", Kind: "network", Labels: 1, Graph: g}
+	}},
+	"ca-condmat": {"network", func(s int) *Dataset {
+		g := Coauthorship(scaleDown(23133, s, 200), scaleDown(186936, s, 1500), 5, 102)
+		return &Dataset{Name: "ca-condmat", Kind: "network", Labels: 1, Graph: g}
+	}},
+	"ca-grqc": {"network", func(s int) *Dataset {
+		g := Coauthorship(scaleDown(5242, s, 150), scaleDown(28980, s, 800), 4, 103)
+		return &Dataset{Name: "ca-grqc", Kind: "network", Labels: 1, Graph: g}
+	}},
+	"email-enron": {"network", func(s int) *Dataset {
+		g := HeavyTailDirected(scaleDown(36692, s, 300), scaleDown(367662, s, 2500), 104)
+		return &Dataset{Name: "email-enron", Kind: "network", Labels: 1, Graph: g}
+	}},
+	"email-euall": {"network", func(s int) *Dataset {
+		g := HeavyTailDirected(scaleDown(265214, s, 600), scaleDown(420045, s, 1000), 105)
+		return &Dataset{Name: "email-euall", Kind: "network", Labels: 1, Graph: g}
+	}},
+	"notredame": {"network", func(s int) *Dataset {
+		g := WebCopying(scaleDown(325729, s, 600), scaleDown(1497134, s, 2500), 106)
+		return &Dataset{Name: "notredame", Kind: "network", Labels: 1, Graph: g}
+	}},
+	"wiki-talk": {"network", func(s int) *Dataset {
+		g := HeavyTailDirected(scaleDown(2394385, s, 1000), scaleDown(5021410, s, 2000), 107)
+		return &Dataset{Name: "wiki-talk", Kind: "network", Labels: 1, Graph: g}
+	}},
+	"wiki-vote": {"network", func(s int) *Dataset {
+		g := HeavyTailDirected(scaleDown(7115, s, 150), scaleDown(103689, s, 2000), 108)
+		return &Dataset{Name: "wiki-vote", Kind: "network", Labels: 1, Graph: g}
+	}},
+
+	// ——— RDF graphs (Table II) ———
+	"rdf-specific-en": {"rdf", func(s int) *Dataset {
+		g := RDFMolecules(scaleDown(300000, s, 400), 71, 12, 201)
+		return &Dataset{Name: "rdf-specific-en", Kind: "rdf", Labels: 71, Graph: g}
+	}},
+	"rdf-types-ru": {"rdf", func(s int) *Dataset {
+		g := RDFTypes(scaleDown(642310, s, 600), 30, 1.0001, 202)
+		return &Dataset{Name: "rdf-types-ru", Kind: "rdf", Labels: 1, Graph: g}
+	}},
+	"rdf-types-es": {"rdf", func(s int) *Dataset {
+		g := RDFTypes(scaleDown(817500, s, 600), 1100, 1.002, 203)
+		return &Dataset{Name: "rdf-types-es", Kind: "rdf", Labels: 1, Graph: g}
+	}},
+	"rdf-types-de-en": {"rdf", func(s int) *Dataset {
+		g := RDFTypes(scaleDown(618000, s, 600), 700, 2.93, 204)
+		return &Dataset{Name: "rdf-types-de-en", Kind: "rdf", Labels: 1, Graph: g}
+	}},
+	"rdf-identica": {"rdf", func(s int) *Dataset {
+		g := RDFMolecules(scaleDown(7000, s, 120), 12, 4, 205)
+		return &Dataset{Name: "rdf-identica", Kind: "rdf", Labels: 12, Graph: g}
+	}},
+	"rdf-jamendo": {"rdf", func(s int) *Dataset {
+		g := RDFMolecules(scaleDown(160000, s, 300), 25, 8, 206)
+		return &Dataset{Name: "rdf-jamendo", Kind: "rdf", Labels: 25, Graph: g}
+	}},
+
+	// ——— Version graphs (Table III) ———
+	"ttt": {"version", func(s int) *Dataset {
+		// 626 board-relation copies at paper scale (5,634 nodes,
+		// 10,016 edges exactly).
+		g := TTTBoards(scaleDown(626, s, 40))
+		return &Dataset{Name: "ttt", Kind: "version", Labels: 3, Graph: g}
+	}},
+	"chess": {"version", func(s int) *Dataset {
+		g := GameLike(scaleDown(76272, s, 500), 12, 4, 301)
+		return &Dataset{Name: "chess", Kind: "version", Labels: 12, Graph: g}
+	}},
+	"dblp60-70": {"version", func(s int) *Dataset {
+		p := DefaultDBLPParams(302)
+		p.AuthorsYear0 = scaleDown(p.AuthorsYear0, s, 60)
+		g := DBLPVersionGraph(11, p)
+		return &Dataset{Name: "dblp60-70", Kind: "version", Labels: 1, Graph: g}
+	}},
+	"dblp60-90": {"version", func(s int) *Dataset {
+		p := DefaultDBLPParams(303)
+		p.AuthorsYear0 = scaleDown(520, s, 40)
+		p.GrowthPerYear = 0.12
+		g := DBLPVersionGraph(31, p)
+		return &Dataset{Name: "dblp60-90", Kind: "version", Labels: 1, Graph: g}
+	}},
+}
+
+// Generate builds the named dataset at the given scale divisor
+// (scale 1 = paper-size). Unknown names error.
+func Generate(name string, scale int) (*Dataset, error) {
+	e, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown dataset %q", name)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	d := e.build(scale)
+	if got := maxLabel(d.Graph); got > d.Labels {
+		return nil, fmt.Errorf("gen: %s produced label %d beyond alphabet %d", name, got, d.Labels)
+	}
+	return d, nil
+}
+
+// Names returns all dataset names, optionally filtered by kind
+// ("network", "rdf", "version"; empty = all), sorted.
+func Names(kind string) []string {
+	var out []string
+	for n, e := range catalog {
+		if kind == "" || e.kind == kind {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"math/rand"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// TicTacToe builds the reachable-state graph of tic-tac-toe: nodes are
+// board states reachable from the empty board, edges are legal moves,
+// labeled 1 (X move), 2 (O move) or 3 (move that ends the game). This
+// stands in for the SUBDUE Tic-Tac-Toe dataset (Table III): the same
+// game, the same 3-label alphabet, and the same massive substructure
+// repetition between similar positions.
+func TicTacToe() *hypergraph.Graph {
+	type board [9]int8
+	encode := func(b board) int {
+		k := 0
+		for _, c := range b {
+			k = k*3 + int(c)
+		}
+		return k
+	}
+	winner := func(b board) int8 {
+		lines := [8][3]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {0, 3, 6},
+			{1, 4, 7}, {2, 5, 8}, {0, 4, 8}, {2, 4, 6}}
+		for _, l := range lines {
+			if b[l[0]] != 0 && b[l[0]] == b[l[1]] && b[l[1]] == b[l[2]] {
+				return b[l[0]]
+			}
+		}
+		return 0
+	}
+
+	id := map[int]hypergraph.NodeID{}
+	var states []board
+	intern := func(b board) (hypergraph.NodeID, bool) {
+		k := encode(b)
+		if v, ok := id[k]; ok {
+			return v, false
+		}
+		v := hypergraph.NodeID(len(states) + 1)
+		id[k] = v
+		states = append(states, b)
+		return v, true
+	}
+
+	var empty board
+	root, _ := intern(empty)
+	queue := []hypergraph.NodeID{root}
+	type move struct {
+		src, dst hypergraph.NodeID
+		lab      hypergraph.Label
+	}
+	var moves []move
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		b := states[v-1]
+		if winner(b) != 0 {
+			continue
+		}
+		// Whose turn: X if equal counts.
+		var x, o int
+		for _, c := range b {
+			if c == 1 {
+				x++
+			} else if c == 2 {
+				o++
+			}
+		}
+		player := int8(1)
+		if x > o {
+			player = 2
+		}
+		if x+o == 9 {
+			continue
+		}
+		for cell := 0; cell < 9; cell++ {
+			if b[cell] != 0 {
+				continue
+			}
+			nb := b
+			nb[cell] = player
+			u, fresh := intern(nb)
+			lab := hypergraph.Label(player)
+			if winner(nb) != 0 || x+o == 8 {
+				lab = 3
+			}
+			moves = append(moves, move{v, u, lab})
+			if fresh {
+				queue = append(queue, u)
+			}
+		}
+	}
+	// Assign node IDs by a deterministic shuffle: BFS discovery order
+	// would give the adjacency matrix artificial locality that real
+	// datasets (and the paper's SUBDUE dumps) do not have.
+	perm := rand.New(rand.NewSource(97)).Perm(len(states))
+	relabel := func(v hypergraph.NodeID) hypergraph.NodeID {
+		return hypergraph.NodeID(perm[int(v)-1] + 1)
+	}
+	g := hypergraph.New(len(states))
+	for _, m := range moves {
+		g.AddEdge(m.lab, relabel(m.src), relabel(m.dst))
+	}
+	return g
+}
+
+// TTTBoards builds the paper's Tic-Tac-Toe version graph (Table III:
+// |V| = 5,634 = copies·9, |E| = 10,016 = copies·16 at copies = 626,
+// |Σ| = 3). The SUBDUE dataset encodes each endgame example as a 3×3
+// board-cell graph whose 16 relation edges carry 3 labels (6 row, 6
+// column, 4 diagonal adjacencies); the per-cell x/o/b node labels are
+// ignored by the paper, leaving structurally identical copies — which
+// is exactly why gRePair reaches 0.12 bpe on it.
+func TTTBoards(copies int) *hypergraph.Graph {
+	const (
+		rowLab hypergraph.Label = 1
+		colLab hypergraph.Label = 2
+		diaLab hypergraph.Label = 3
+	)
+	g := hypergraph.New(9 * copies)
+	for c := 0; c < copies; c++ {
+		cell := func(r, col int) hypergraph.NodeID {
+			return hypergraph.NodeID(9*c + 3*r + col + 1)
+		}
+		for r := 0; r < 3; r++ {
+			for col := 0; col < 2; col++ {
+				g.AddEdge(rowLab, cell(r, col), cell(r, col+1))
+				g.AddEdge(colLab, cell(col, r), cell(col+1, r))
+			}
+		}
+		g.AddEdge(diaLab, cell(0, 0), cell(1, 1))
+		g.AddEdge(diaLab, cell(1, 1), cell(2, 2))
+		g.AddEdge(diaLab, cell(0, 2), cell(1, 1))
+		g.AddEdge(diaLab, cell(1, 1), cell(2, 0))
+	}
+	return g
+}
+
+// GameLike builds a layered game-state-like DAG standing in for the
+// SUBDUE Chess dataset: layers of positions connected by move edges
+// drawn from a small motif library with `labels` move types, so the
+// same local substructures repeat throughout (the property that makes
+// version graphs compress). The result is a disjoint union of
+// `versions` independently grown but similarly structured copies.
+func GameLike(nodes int, labels hypergraph.Label, versions int, seed int64) *hypergraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	perVersion := nodes / versions
+	if perVersion < 8 {
+		perVersion = 8
+	}
+	// Motif library shared by all versions: connection patterns
+	// between consecutive layers.
+	type conn struct {
+		dx, dy int
+		lab    hypergraph.Label
+	}
+	motifs := make([][]conn, 8)
+	for i := range motifs {
+		k := 5 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			motifs[i] = append(motifs[i], conn{
+				dx:  rng.Intn(4),
+				dy:  rng.Intn(4),
+				lab: hypergraph.Label(1 + rng.Intn(int(labels))),
+			})
+		}
+	}
+	width := 8
+	layers := perVersion / width
+	// One shared base layout: versions are SIMILAR copies (the point
+	// of a version graph), differing only in a few mutated blocks.
+	base := make([]int, layers*(width/4))
+	baseRng := rand.New(rand.NewSource(seed + 1))
+	for i := range base {
+		base[i] = baseRng.Intn(len(motifs))
+	}
+	var parts []*hypergraph.Graph
+	for v := 0; v < versions; v++ {
+		g := hypergraph.New(layers * width)
+		node := func(layer, i int) hypergraph.NodeID {
+			return hypergraph.NodeID(layer*width + i + 1)
+		}
+		vr := rand.New(rand.NewSource(seed + int64(v)*7919))
+		seen := map[hypergraph.Triple]bool{}
+		for l := 0; l+1 < layers; l++ {
+			for b := 0; b < width; b += 4 {
+				mi := base[l*(width/4)+b/4]
+				if vr.Intn(10) == 0 { // ~10% of blocks differ per version
+					mi = vr.Intn(len(motifs))
+				}
+				m := motifs[mi]
+				for _, c := range m {
+					src := node(l, (b+c.dx)%width)
+					dst := node(l+1, (b+c.dy)%width)
+					t := hypergraph.Triple{Src: src, Dst: dst, Label: c.lab}
+					if !seen[t] {
+						seen[t] = true
+						g.AddEdge(c.lab, src, dst)
+					}
+				}
+			}
+		}
+		parts = append(parts, g)
+	}
+	return DisjointUnion(parts...)
+}

@@ -1,0 +1,192 @@
+package grammar
+
+import (
+	"fmt"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// DerivedNodeCounts returns, for every nonterminal A, the number of
+// nodes an A-edge derives: the internal nodes of rhs(A) plus,
+// recursively, the nodes derived by the nonterminal edges of rhs(A).
+// This is the basis of the deterministic node numbering of val(G) and
+// of the node-locator used by queries.
+func (g *Grammar) DerivedNodeCounts() map[hypergraph.Label]int64 {
+	counts := make(map[hypergraph.Label]int64, len(g.rules))
+	for _, l := range g.BottomUpOrder() {
+		r := g.Rule(l)
+		n := int64(r.NumNodes() - r.Rank())
+		for _, id := range r.Edges() {
+			if lab := r.Label(id); !g.IsTerminal(lab) {
+				n += counts[lab]
+			}
+		}
+		counts[l] = n
+	}
+	return counts
+}
+
+// DerivedEdgeCounts returns, for every nonterminal A, the number of
+// terminal edges val(A) contains.
+func (g *Grammar) DerivedEdgeCounts() map[hypergraph.Label]int64 {
+	counts := make(map[hypergraph.Label]int64, len(g.rules))
+	for _, l := range g.BottomUpOrder() {
+		r := g.Rule(l)
+		var n int64
+		for _, id := range r.Edges() {
+			if lab := r.Label(id); g.IsTerminal(lab) {
+				n++
+			} else {
+				n += counts[lab]
+			}
+		}
+		counts[l] = n
+	}
+	return counts
+}
+
+// DerivedSize returns (|val(G)|V, number of terminal edges of val(G))
+// without materializing the derived graph.
+func (g *Grammar) DerivedSize() (nodes, edges int64) {
+	nc, ec := g.DerivedNodeCounts(), g.DerivedEdgeCounts()
+	nodes = int64(g.Start.NumNodes())
+	for _, id := range g.Start.Edges() {
+		if lab := g.Start.Label(id); g.IsTerminal(lab) {
+			edges++
+		} else {
+			nodes += nc[lab]
+			edges += ec[lab]
+		}
+	}
+	return nodes, edges
+}
+
+// Derive computes val(G), the canonical derived hypergraph, following
+// the paper's deterministic numbering: start-graph nodes take IDs
+// 1..m in ascending order; nonterminal edges are then derived in
+// canonical order, each assigning the next free IDs to the internal
+// nodes of its right-hand side (ascending rule-node order) before
+// recursively deriving the nested nonterminal edges in ascending
+// rule-edge order. The derived subgraph of each nonterminal edge thus
+// occupies a contiguous ID block, which the query package exploits.
+//
+// maxNodes guards against deriving graphs too large to materialize
+// (SL-HR grammars can be exponentially smaller than val(G)); pass 0
+// for no limit.
+func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
+	nodes, _ := g.DerivedSize()
+	if maxNodes > 0 && nodes > maxNodes {
+		return nil, fmt.Errorf("grammar: val(G) has %d nodes, exceeding limit %d", nodes, maxNodes)
+	}
+
+	out := hypergraph.New(0)
+	// Map start-graph nodes to 1..m in ascending ID order.
+	sNodes := g.Start.Nodes()
+	sMap := make(map[hypergraph.NodeID]hypergraph.NodeID, len(sNodes))
+	for _, v := range sNodes {
+		sMap[v] = out.AddNode()
+	}
+
+	// expand derives one nonterminal edge instance: att holds the
+	// out-graph nodes the instance is attached to.
+	var expand func(label hypergraph.Label, att []hypergraph.NodeID)
+	expand = func(label hypergraph.Label, att []hypergraph.NodeID) {
+		rhs := g.Rule(label)
+		m := make(map[hypergraph.NodeID]hypergraph.NodeID, rhs.NumNodes())
+		for i, x := range rhs.Ext() {
+			m[x] = att[i]
+		}
+		for _, v := range rhs.Nodes() {
+			if !rhs.IsExternal(v) {
+				m[v] = out.AddNode()
+			}
+		}
+		for _, id := range rhs.Edges() {
+			e := rhs.Edge(id)
+			if g.IsTerminal(e.Label) {
+				mapped := make([]hypergraph.NodeID, len(e.Att))
+				for i, v := range e.Att {
+					mapped[i] = m[v]
+				}
+				out.AddEdge(e.Label, mapped...)
+			}
+		}
+		// Nested nonterminals in ascending rule-edge order.
+		for _, id := range rhs.Edges() {
+			e := rhs.Edge(id)
+			if !g.IsTerminal(e.Label) {
+				mapped := make([]hypergraph.NodeID, len(e.Att))
+				for i, v := range e.Att {
+					mapped[i] = m[v]
+				}
+				expand(e.Label, mapped)
+			}
+		}
+	}
+
+	// Terminal edges of the start graph first, in ascending edge order.
+	for _, id := range g.Start.Edges() {
+		e := g.Start.Edge(id)
+		if g.IsTerminal(e.Label) {
+			mapped := make([]hypergraph.NodeID, len(e.Att))
+			for i, v := range e.Att {
+				mapped[i] = sMap[v]
+			}
+			out.AddEdge(e.Label, mapped...)
+		}
+	}
+	// Then nonterminal edges in canonical (label, attachment) order.
+	for _, id := range g.sortedNTEdges(g.Start) {
+		e := g.Start.Edge(id)
+		mapped := make([]hypergraph.NodeID, len(e.Att))
+		for i, v := range e.Att {
+			mapped[i] = sMap[v]
+		}
+		expand(e.Label, mapped)
+	}
+	return out, nil
+}
+
+// MustDerive is Derive with no limit, panicking on error.
+func (g *Grammar) MustDerive() *hypergraph.Graph {
+	out, err := g.Derive(0)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Inline derives nonterminal edge id of host graph h in place: the
+// edge is removed, internal nodes of the rule get fresh host node IDs,
+// external nodes merge with the edge's attachment, and the rule's
+// edges are copied in. Terminal-duplicate creation is permitted here
+// (pruning may produce rules with parallel edges only if the input had
+// them). Returns the IDs of the copied-in edges.
+func (g *Grammar) Inline(h *hypergraph.Graph, id hypergraph.EdgeID) []hypergraph.EdgeID {
+	e := h.Edge(id)
+	rhs := g.Rule(e.Label)
+	if rhs == nil {
+		panic(fmt.Sprintf("grammar: Inline: label %d has no rule", e.Label))
+	}
+	att := append([]hypergraph.NodeID(nil), e.Att...)
+	h.RemoveEdge(id)
+	m := make(map[hypergraph.NodeID]hypergraph.NodeID, rhs.NumNodes())
+	for i, x := range rhs.Ext() {
+		m[x] = att[i]
+	}
+	for _, v := range rhs.Nodes() {
+		if !rhs.IsExternal(v) {
+			m[v] = h.AddNode()
+		}
+	}
+	var added []hypergraph.EdgeID
+	for _, rid := range rhs.Edges() {
+		re := rhs.Edge(rid)
+		mapped := make([]hypergraph.NodeID, len(re.Att))
+		for i, v := range re.Att {
+			mapped[i] = m[v]
+		}
+		added = append(added, h.AddEdge(re.Label, mapped...))
+	}
+	return added
+}

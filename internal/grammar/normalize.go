@@ -1,0 +1,128 @@
+package grammar
+
+import (
+	"graphrepair/internal/hypergraph"
+)
+
+// ChomskyNormalForm rewrites the grammar so every right-hand side and
+// the start graph contain at most two edges, as used by Prop. 5 of the
+// paper (via Proposition 3.13 of Engelfriet's handbook chapter): the
+// derivation dag of a CNF grammar has size O(|G|), which makes
+// one-pass CMSO evaluation linear. Intermediate nonterminals may have
+// rank up to the number of nodes of the split right-hand side (the
+// paper's m bound).
+//
+// The transformation preserves val(G) exactly (not just up to
+// isomorphism) is NOT guaranteed; it preserves the derived graph up to
+// isomorphism, which is the grammar's semantics.
+func (g *Grammar) ChomskyNormalForm() {
+	// Split rules first (splitting may add rules; iterate over a
+	// snapshot and process newly added ones in turn).
+	for i := 0; i < len(g.rules); i++ {
+		nt := g.Terminals + 1 + hypergraph.Label(i)
+		g.splitGraph(g.Rule(nt), false)
+	}
+	g.splitGraph(g.Start, true)
+}
+
+// splitGraph repeatedly factors two edges of h into a fresh rule until
+// h has at most two edges.
+func (g *Grammar) splitGraph(h *hypergraph.Graph, isStart bool) {
+	for h.NumEdges() > 2 {
+		edges := h.Edges()
+		e1, e2 := edges[0], edges[1]
+
+		// Nodes of the pair; a node stays visible (external in the new
+		// rule) if it is incident with a remaining edge or external in
+		// the host (or the host is the start graph, where every node
+		// is visible — but only pair-incident nodes matter here).
+		inPair := map[hypergraph.NodeID]bool{}
+		var pairNodes []hypergraph.NodeID
+		for _, id := range []hypergraph.EdgeID{e1, e2} {
+			for _, v := range h.Att(id) {
+				if !inPair[v] {
+					inPair[v] = true
+					pairNodes = append(pairNodes, v)
+				}
+			}
+		}
+		var ext []hypergraph.NodeID
+		for _, v := range pairNodes {
+			// Start-graph nodes are real graph nodes and must remain
+			// visible; rule nodes hide when fully enclosed.
+			visible := isStart
+			if !visible {
+				if h.IsExternal(v) {
+					visible = true
+				} else {
+					for _, id := range h.Incident(v) {
+						if id != e1 && id != e2 {
+							visible = true
+							break
+						}
+					}
+				}
+			}
+			if visible {
+				ext = append(ext, v)
+			}
+		}
+		if len(ext) == 0 {
+			// A fully enclosed 2-edge component; keep one node
+			// attached so the rule has positive rank.
+			ext = pairNodes[:1]
+		}
+
+		// Build the new rule graph over fresh local IDs.
+		rhs := hypergraph.New(len(pairNodes))
+		local := make(map[hypergraph.NodeID]hypergraph.NodeID, len(pairNodes))
+		for i, v := range pairNodes {
+			local[v] = hypergraph.NodeID(i + 1)
+		}
+		for _, id := range []hypergraph.EdgeID{e1, e2} {
+			att := h.Att(id)
+			mapped := make([]hypergraph.NodeID, len(att))
+			for i, v := range att {
+				mapped[i] = local[v]
+			}
+			rhs.AddEdge(h.Label(id), mapped...)
+		}
+		lext := make([]hypergraph.NodeID, len(ext))
+		for i, v := range ext {
+			lext[i] = local[v]
+		}
+		rhs.SetExt(lext...)
+		nt := g.AddRule(rhs)
+
+		// Replace the pair in the host.
+		h.RemoveEdge(e1)
+		h.RemoveEdge(e2)
+		for _, v := range pairNodes {
+			if !contains(ext, v) && !h.IsExternal(v) && h.Degree(v) == 0 && !isStart {
+				h.RemoveNode(v)
+			}
+		}
+		h.AddEdge(nt, ext...)
+	}
+}
+
+func contains(s []hypergraph.NodeID, v hypergraph.NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxRHSEdges returns the largest edge count over the start graph and
+// all right-hand sides (2 after ChomskyNormalForm).
+func (g *Grammar) MaxRHSEdges() int {
+	m := g.Start.NumEdges()
+	for _, r := range g.rules {
+		if r != nil && r.NumEdges() > m {
+			m = r.NumEdges()
+		}
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+	"graphrepair/internal/iso"
+)
+
+func TestChomskyNormalFormFigure1(t *testing.T) {
+	g := figure1Grammar()
+	want := g.MustDerive()
+	g.ChomskyNormalForm()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := g.MaxRHSEdges(); m > 2 {
+		t.Fatalf("max rhs edges = %d after CNF", m)
+	}
+	if !iso.Isomorphic(want, g.MustDerive()) {
+		t.Fatal("CNF changed the derived graph")
+	}
+}
+
+func TestChomskyNormalFormStartOnly(t *testing.T) {
+	// A rule-less grammar whose start graph has 7 edges.
+	s := hypergraph.New(5)
+	s.AddEdge(1, 1, 2)
+	s.AddEdge(1, 2, 3)
+	s.AddEdge(2, 3, 4)
+	s.AddEdge(2, 4, 5)
+	s.AddEdge(1, 5, 1)
+	s.AddEdge(2, 1, 3)
+	s.AddEdge(1, 2, 4)
+	g := New(2, s)
+	want := g.MustDerive()
+	g.ChomskyNormalForm()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Start.NumEdges() > 2 {
+		t.Fatalf("start graph has %d edges after CNF", g.Start.NumEdges())
+	}
+	got := g.MustDerive()
+	// Start-graph nodes are real: node count must be preserved.
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("CNF sizes (%d,%d) vs (%d,%d)",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	if !iso.Isomorphic(want, got) {
+		t.Fatal("CNF changed the start-graph derivation")
+	}
+}
+
+func TestChomskyNormalFormRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGrammar(rng)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := g.Derive(3000)
+		if err != nil {
+			continue
+		}
+		g.ChomskyNormalForm()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid after CNF: %v", trial, err)
+		}
+		if m := g.MaxRHSEdges(); m > 2 {
+			t.Fatalf("trial %d: max rhs edges %d", trial, m)
+		}
+		got := g.MustDerive()
+		if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("trial %d: sizes changed (%d,%d) vs (%d,%d)",
+				trial, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+		}
+		if want.NumNodes() <= 150 && !iso.Isomorphic(want, got) {
+			t.Fatalf("trial %d: CNF changed derivation", trial)
+		}
+	}
+}
+
+func TestCNFIdempotentOnSmallGrammars(t *testing.T) {
+	g := figure1Grammar()
+	g.ChomskyNormalForm()
+	rules := g.NumRules()
+	g.ChomskyNormalForm()
+	if g.NumRules() != rules {
+		t.Fatal("second CNF pass added rules")
+	}
+}

@@ -1,0 +1,157 @@
+package grammar
+
+import (
+	"graphrepair/internal/hypergraph"
+)
+
+// HandleSize returns |handle(A)| for a nonterminal of the given rank
+// (paper Sec. III-A3): the total size of the minimal graph holding one
+// A-edge, i.e. its rank many nodes plus the edge-size measure of the
+// edge (1 for rank <= 2, rank for larger hyperedges). With this value,
+// |rhs(A)| − |handle(A)| is exactly the size change of deriving one
+// A-edge: the edge and its attachment nodes are accounted against the
+// full right-hand side whose external nodes merge with them. The
+// paper's worked example (Fig. 6/7) pins this down: a rank-2 rule of
+// size 5 referenced 4 times has con(A) = 4·(5−3)−5 = 3, matching the
+// actual grammar-vs-graph size difference.
+func HandleSize(rank int) int {
+	edge := 1
+	if rank > 2 {
+		edge = rank
+	}
+	return rank + edge
+}
+
+// Contribution returns con(A) = ref(A)·(|rhs(A)| − |handle(A)|) −
+// |rhs(A)| for nonterminal l, given its current reference count. A
+// rule contributes to compression iff the result is positive.
+func (g *Grammar) Contribution(l hypergraph.Label, ref int) int {
+	rhs := g.Rule(l)
+	size := rhs.TotalSize()
+	return ref*(size-HandleSize(rhs.Rank())) - size
+}
+
+// Prune removes rules that do not contribute to compression
+// (Sec. III-A3): first every nonterminal referenced exactly once is
+// inlined (by definition it cannot contribute), then nonterminals are
+// visited bottom-up in ≤NT order and inlined while con(A) <= 0.
+// Removing a rule changes the sizes and reference counts of the rules
+// that referenced it, so counts are maintained incrementally.
+//
+// Returns the number of rules removed. The grammar is compacted: the
+// remaining nonterminals are renumbered densely (preserving relative
+// order) so label space stays contiguous for the encoder.
+func (g *Grammar) Prune() int {
+	removed := make(map[hypergraph.Label]bool)
+	ref := g.RefCounts()
+
+	// inlineAll replaces every l-edge in the start graph and all live
+	// right-hand sides by rhs(l), updating reference counts.
+	inlineAll := func(l hypergraph.Label) {
+		rhs := g.Rule(l)
+		hosts := []*hypergraph.Graph{g.Start}
+		for _, nt := range g.Nonterminals() {
+			if !removed[nt] && nt != l {
+				hosts = append(hosts, g.Rule(nt))
+			}
+		}
+		for _, h := range hosts {
+			for _, id := range h.Edges() {
+				if h.Label(id) != l {
+					continue
+				}
+				g.Inline(h, id)
+				// The inlined copy adds one reference per nonterminal
+				// edge of rhs(l); the l-edge itself is gone.
+				for _, rid := range rhs.Edges() {
+					if lab := rhs.Label(rid); !g.IsTerminal(lab) {
+						ref[lab]++
+					}
+				}
+			}
+		}
+		// References held by rhs(l) itself disappear with the rule.
+		for _, rid := range rhs.Edges() {
+			if lab := rhs.Label(rid); !g.IsTerminal(lab) {
+				ref[lab]--
+			}
+		}
+		removed[l] = true
+		delete(ref, l)
+	}
+
+	// Pass 1: rules referenced exactly once never contribute.
+	// Iterate to a fixpoint: inlining can drop other counts to one.
+	for {
+		inlined := false
+		for _, l := range g.Nonterminals() {
+			if !removed[l] && ref[l] == 1 {
+				inlineAll(l)
+				inlined = true
+			}
+		}
+		if !inlined {
+			break
+		}
+	}
+
+	// Pass 2: bottom-up ≤NT order, removing non-contributing rules.
+	for _, l := range g.bottomUpOrderLive(removed) {
+		if removed[l] {
+			continue
+		}
+		if g.Contribution(l, ref[l]) <= 0 {
+			inlineAll(l)
+		}
+	}
+
+	// Compact: renumber surviving nonterminals densely.
+	if len(removed) > 0 {
+		g.compactLabels(removed)
+	}
+	return len(removed)
+}
+
+// bottomUpOrderLive is BottomUpOrder restricted to live rules.
+func (g *Grammar) bottomUpOrderLive(removed map[hypergraph.Label]bool) []hypergraph.Label {
+	all := g.BottomUpOrder()
+	out := all[:0]
+	for _, l := range all {
+		if !removed[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// compactLabels drops removed rules and renumbers the survivors
+// densely above Terminals, rewriting every edge label.
+func (g *Grammar) compactLabels(removed map[hypergraph.Label]bool) {
+	remap := make(map[hypergraph.Label]hypergraph.Label)
+	var kept []*hypergraph.Graph
+	for i, r := range g.rules {
+		old := g.Terminals + 1 + hypergraph.Label(i)
+		if removed[old] {
+			continue
+		}
+		remap[old] = g.Terminals + 1 + hypergraph.Label(len(kept))
+		kept = append(kept, r)
+	}
+	rewrite := func(h *hypergraph.Graph) {
+		for _, id := range h.Edges() {
+			e := h.Edge(id)
+			if !g.IsTerminal(e.Label) {
+				nl, ok := remap[e.Label]
+				if !ok {
+					panic("grammar: compactLabels: dangling removed nonterminal")
+				}
+				e.Label = nl
+			}
+		}
+	}
+	rewrite(g.Start)
+	for _, r := range kept {
+		rewrite(r)
+	}
+	g.rules = kept
+}

@@ -1,0 +1,97 @@
+// Package graphio reads and writes simple directed edge-labeled
+// graphs as plain text, the interchange format of the command-line
+// tools:
+//
+//	# comment lines start with '#'
+//	graph <numNodes> <numLabels>
+//	<src> <dst> [label]
+//	...
+//
+// Nodes are 1-based; the label defaults to 1. The format is
+// line-oriented so standard tools (sort, wc, awk) compose with it.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// Read parses a graph. Self-loops and duplicate edges are dropped
+// (their count is returned) to satisfy the paper's simple-graph
+// restrictions.
+func Read(r io.Reader) (*hypergraph.Graph, hypergraph.Label, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var n int
+	var labels hypergraph.Label
+	var triples []hypergraph.Triple
+	lineNo := 0
+	seenHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !seenHeader {
+			var nl int
+			if _, err := fmt.Sscanf(line, "graph %d %d", &n, &nl); err != nil {
+				return nil, 0, 0, fmt.Errorf("graphio: line %d: expected 'graph <nodes> <labels>': %w", lineNo, err)
+			}
+			if n < 0 || nl < 1 {
+				return nil, 0, 0, fmt.Errorf("graphio: line %d: bad header values", lineNo)
+			}
+			labels = hypergraph.Label(nl)
+			seenHeader = true
+			continue
+		}
+		var s, d, l int
+		switch fields := strings.Fields(line); len(fields) {
+		case 2:
+			if _, err := fmt.Sscanf(line, "%d %d", &s, &d); err != nil {
+				return nil, 0, 0, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			}
+			l = 1
+		case 3:
+			if _, err := fmt.Sscanf(line, "%d %d %d", &s, &d, &l); err != nil {
+				return nil, 0, 0, fmt.Errorf("graphio: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, 0, 0, fmt.Errorf("graphio: line %d: expected 2 or 3 fields", lineNo)
+		}
+		if s < 1 || s > n || d < 1 || d > n {
+			return nil, 0, 0, fmt.Errorf("graphio: line %d: node out of range 1..%d", lineNo, n)
+		}
+		if l < 1 || hypergraph.Label(l) > labels {
+			return nil, 0, 0, fmt.Errorf("graphio: line %d: label out of range 1..%d", lineNo, labels)
+		}
+		triples = append(triples, hypergraph.Triple{
+			Src: hypergraph.NodeID(s), Dst: hypergraph.NodeID(d), Label: hypergraph.Label(l)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	if !seenHeader {
+		return nil, 0, 0, fmt.Errorf("graphio: missing 'graph' header")
+	}
+	g, skipped := hypergraph.FromTriples(n, triples)
+	return g, labels, skipped, nil
+}
+
+// Write serializes a simple graph.
+func Write(w io.Writer, g *hypergraph.Graph, labels hypergraph.Label) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %d %d\n", g.MaxNodeID(), labels)
+	for _, t := range g.Triples() {
+		if t.Label == 1 && labels == 1 {
+			fmt.Fprintf(bw, "%d %d\n", t.Src, t.Dst)
+		} else {
+			fmt.Fprintf(bw, "%d %d %d\n", t.Src, t.Dst, t.Label)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+)
+
+func TestRoundtrip(t *testing.T) {
+	g := hypergraph.New(5)
+	g.AddEdge(1, 1, 2)
+	g.AddEdge(2, 2, 3)
+	g.AddEdge(1, 5, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	back, labels, skipped, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != 2 || skipped != 0 {
+		t.Fatalf("labels=%d skipped=%d", labels, skipped)
+	}
+	if !hypergraph.EqualSimple(g, back) {
+		t.Fatal("roundtrip changed graph")
+	}
+}
+
+func TestReadDefaults(t *testing.T) {
+	in := `# a comment
+graph 3 1
+
+1 2
+2 3
+`
+	g, labels, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != 1 || g.NumEdges() != 2 {
+		t.Fatalf("labels=%d edges=%d", labels, g.NumEdges())
+	}
+}
+
+func TestReadDropsLoopsAndDuplicates(t *testing.T) {
+	in := "graph 3 1\n1 1\n1 2\n1 2\n"
+	g, _, skipped, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 || g.NumEdges() != 1 {
+		t.Fatalf("skipped=%d edges=%d", skipped, g.NumEdges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                     // no header
+		"graph 3\n",            // short header
+		"graph 3 1\n9 1\n",     // node out of range
+		"graph 3 1\n1 2 5\n",   // label out of range
+		"graph 3 1\n1\n",       // wrong field count
+		"graph 3 1\n1 2 3 4\n", // wrong field count
+		"graph -1 1\n",         // bad values
+		"1 2\ngraph 3 1\n",     // edge before header
+	}
+	for _, in := range cases {
+		if _, _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteSingleLabelOmitsLabel(t *testing.T) {
+	g := hypergraph.New(2)
+	g.AddEdge(1, 1, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Split(buf.String(), "\n")[1], " 1 ") {
+		t.Fatalf("label written for single-label graph: %q", buf.String())
+	}
+}

@@ -1,0 +1,394 @@
+// Package hypergraph implements the directed, edge-labeled hypergraphs
+// of "Compressing Graphs by Grammars" (Maneth & Peternek, ICDE 2016),
+// Section II.
+//
+// A hypergraph over a ranked alphabet is a tuple (V, E, att, lab, ext):
+// V is a set of node IDs {1..m}, every edge carries a label and an
+// ordered attachment sequence of pairwise-distinct nodes, and ext is a
+// sequence of pairwise-distinct external nodes. Ordinary directed
+// graphs are the special case where every edge has rank two
+// (att = source·target).
+//
+// The package supports the mutation pattern of the gRePair compressor
+// (edges and internal nodes are removed, nonterminal edges inserted) as
+// well as the size measures |g|V, |g|E and |g| the paper optimizes.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Valid IDs are 1-based; 0 means "no node".
+type NodeID int32
+
+// EdgeID identifies an edge within one graph. Valid IDs are 0-based.
+type EdgeID int32
+
+// NoEdge is the sentinel for an absent edge.
+const NoEdge EdgeID = -1
+
+// Label identifies an edge label. Terminal labels are 1..T for an
+// alphabet with T terminals; grammar nonterminals extend the space
+// above T. Label 0 is reserved (used internally for virtual edges).
+type Label int32
+
+// Edge is a labeled hyperedge. Att holds the attachment sequence; its
+// length is the edge's rank. The paper's restriction (1) applies: Att
+// contains no node twice.
+type Edge struct {
+	Label Label
+	Att   []NodeID
+}
+
+// Rank returns the number of attached nodes.
+func (e *Edge) Rank() int { return len(e.Att) }
+
+// Graph is a mutable hypergraph. Nodes and edges are removed by
+// tombstoning; incidence lists are compacted lazily.
+type Graph struct {
+	edges     []Edge
+	edgeAlive []bool
+	numEdges  int // alive edges
+
+	nodeAlive []bool // index 0 unused
+	numNodes  int    // alive nodes
+
+	inc      [][]EdgeID // per node: incident edges, may contain dead entries
+	incDead  []int32    // dead entries per incidence list
+	ext      []NodeID
+	extIndex []int32 // per node: position in ext, or -1
+}
+
+// New returns a graph with nodes 1..n and no edges.
+func New(n int) *Graph {
+	g := &Graph{
+		nodeAlive: make([]bool, n+1),
+		numNodes:  n,
+		inc:       make([][]EdgeID, n+1),
+		incDead:   make([]int32, n+1),
+		extIndex:  make([]int32, n+1),
+	}
+	for i := 1; i <= n; i++ {
+		g.nodeAlive[i] = true
+		g.extIndex[i] = -1
+	}
+	g.extIndex[0] = -1
+	return g
+}
+
+// NumNodes returns the number of alive nodes (|g|V).
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumEdges returns the number of alive edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// MaxNodeID returns the largest node ID ever allocated. Alive node IDs
+// are a subset of 1..MaxNodeID.
+func (g *Graph) MaxNodeID() NodeID { return NodeID(len(g.nodeAlive) - 1) }
+
+// MaxEdgeID returns one past the largest edge ID ever allocated.
+func (g *Graph) MaxEdgeID() EdgeID { return EdgeID(len(g.edges)) }
+
+// HasNode reports whether node v is alive.
+func (g *Graph) HasNode(v NodeID) bool {
+	return v >= 1 && int(v) < len(g.nodeAlive) && g.nodeAlive[v]
+}
+
+// HasEdge reports whether edge id is alive.
+func (g *Graph) HasEdge(id EdgeID) bool {
+	return id >= 0 && int(id) < len(g.edges) && g.edgeAlive[id]
+}
+
+// AddNode allocates a fresh node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.nodeAlive = append(g.nodeAlive, true)
+	g.inc = append(g.inc, nil)
+	g.incDead = append(g.incDead, 0)
+	g.extIndex = append(g.extIndex, -1)
+	g.numNodes++
+	return NodeID(len(g.nodeAlive) - 1)
+}
+
+// AddEdge inserts a hyperedge with the given label and attachment
+// sequence and returns its ID. It panics if an attachment node is dead
+// or repeated (paper restriction (1) excludes self-loops).
+func (g *Graph) AddEdge(label Label, att ...NodeID) EdgeID {
+	for i, v := range att {
+		if !g.HasNode(v) {
+			panic(fmt.Sprintf("hypergraph: AddEdge attachment %d: node %d not alive", i, v))
+		}
+		for j := 0; j < i; j++ {
+			if att[j] == v {
+				panic(fmt.Sprintf("hypergraph: AddEdge: node %d attached twice", v))
+			}
+		}
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{Label: label, Att: append([]NodeID(nil), att...)})
+	g.edgeAlive = append(g.edgeAlive, true)
+	g.numEdges++
+	for _, v := range att {
+		g.inc[v] = append(g.inc[v], id)
+	}
+	return id
+}
+
+// Edge returns the edge with the given ID. The result aliases graph
+// storage and must not be mutated. Panics if the edge is dead.
+func (g *Graph) Edge(id EdgeID) *Edge {
+	if !g.HasEdge(id) {
+		panic(fmt.Sprintf("hypergraph: edge %d not alive", id))
+	}
+	return &g.edges[id]
+}
+
+// Label returns the label of edge id.
+func (g *Graph) Label(id EdgeID) Label { return g.Edge(id).Label }
+
+// Att returns the attachment sequence of edge id (aliases storage).
+func (g *Graph) Att(id EdgeID) []NodeID { return g.Edge(id).Att }
+
+// RemoveEdge tombstones an edge. Incidence entries are cleaned lazily.
+func (g *Graph) RemoveEdge(id EdgeID) {
+	if !g.HasEdge(id) {
+		panic(fmt.Sprintf("hypergraph: RemoveEdge: edge %d not alive", id))
+	}
+	g.edgeAlive[id] = false
+	g.numEdges--
+	for _, v := range g.edges[id].Att {
+		if g.HasNode(v) {
+			g.incDead[v]++
+		}
+	}
+}
+
+// RemoveNode removes a node. The node must have no alive incident
+// edges and must not be external.
+func (g *Graph) RemoveNode(v NodeID) {
+	if !g.HasNode(v) {
+		panic(fmt.Sprintf("hypergraph: RemoveNode: node %d not alive", v))
+	}
+	if g.extIndex[v] >= 0 {
+		panic(fmt.Sprintf("hypergraph: RemoveNode: node %d is external", v))
+	}
+	if g.Degree(v) != 0 {
+		panic(fmt.Sprintf("hypergraph: RemoveNode: node %d still has incident edges", v))
+	}
+	g.nodeAlive[v] = false
+	g.inc[v] = nil
+	g.incDead[v] = 0
+	g.numNodes--
+}
+
+// compactInc removes dead entries from v's incidence list.
+func (g *Graph) compactInc(v NodeID) {
+	if g.incDead[v] == 0 {
+		return
+	}
+	lst := g.inc[v][:0]
+	for _, id := range g.inc[v] {
+		if g.edgeAlive[id] {
+			lst = append(lst, id)
+		}
+	}
+	g.inc[v] = lst
+	g.incDead[v] = 0
+}
+
+// Incident returns the alive edges incident with v in insertion order.
+// The returned slice aliases graph storage and is invalidated by
+// mutations.
+func (g *Graph) Incident(v NodeID) []EdgeID {
+	g.compactInc(v)
+	return g.inc[v]
+}
+
+// Degree returns the number of alive edges incident with v.
+func (g *Graph) Degree(v NodeID) int {
+	g.compactInc(v)
+	return len(g.inc[v])
+}
+
+// AttPos returns the position (0-based) of v in att(e), or -1.
+func (g *Graph) AttPos(id EdgeID, v NodeID) int {
+	for i, u := range g.Edge(id).Att {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ext returns the external node sequence (aliases storage).
+func (g *Graph) Ext() []NodeID { return g.ext }
+
+// Rank returns the number of external nodes, rank(g) = |ext|.
+func (g *Graph) Rank() int { return len(g.ext) }
+
+// SetExt replaces the external node sequence. Panics on dead or
+// repeated nodes (paper restriction (2)).
+func (g *Graph) SetExt(ext ...NodeID) {
+	for _, v := range g.ext {
+		g.extIndex[v] = -1
+	}
+	for i, v := range ext {
+		if !g.HasNode(v) {
+			panic(fmt.Sprintf("hypergraph: SetExt: node %d not alive", v))
+		}
+		for j := 0; j < i; j++ {
+			if ext[j] == v {
+				panic(fmt.Sprintf("hypergraph: SetExt: node %d external twice", v))
+			}
+		}
+	}
+	g.ext = append([]NodeID(nil), ext...)
+	for i, v := range g.ext {
+		g.extIndex[v] = int32(i)
+	}
+}
+
+// ExtIndex returns v's position in ext, or -1 if v is internal.
+func (g *Graph) ExtIndex(v NodeID) int {
+	if !g.HasNode(v) {
+		return -1
+	}
+	return int(g.extIndex[v])
+}
+
+// IsExternal reports whether v is an external node.
+func (g *Graph) IsExternal(v NodeID) bool { return g.ExtIndex(v) >= 0 }
+
+// Nodes returns all alive node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, g.numNodes)
+	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
+		if g.nodeAlive[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Edges returns all alive edge IDs in ascending order.
+func (g *Graph) Edges() []EdgeID {
+	out := make([]EdgeID, 0, g.numEdges)
+	for id := EdgeID(0); int(id) < len(g.edges); id++ {
+		if g.edgeAlive[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EdgeSize returns |g|E: edges of rank <= 2 count one, larger
+// hyperedges count their rank (paper Sec. II).
+func (g *Graph) EdgeSize() int {
+	s := 0
+	for id, e := range g.edges {
+		if !g.edgeAlive[id] {
+			continue
+		}
+		if r := len(e.Att); r > 2 {
+			s += r
+		} else {
+			s++
+		}
+	}
+	return s
+}
+
+// TotalSize returns |g| = |g|V + |g|E.
+func (g *Graph) TotalSize() int { return g.numNodes + g.EdgeSize() }
+
+// Clone returns a deep copy of the graph, compacted: dead nodes and
+// edges are dropped but IDs of alive nodes are preserved; edge IDs are
+// renumbered densely in ascending order of the old IDs.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodeAlive: append([]bool(nil), g.nodeAlive...),
+		numNodes:  g.numNodes,
+		inc:       make([][]EdgeID, len(g.inc)),
+		incDead:   make([]int32, len(g.incDead)),
+		extIndex:  append([]int32(nil), g.extIndex...),
+		ext:       append([]NodeID(nil), g.ext...),
+	}
+	c.edges = make([]Edge, 0, g.numEdges)
+	c.edgeAlive = make([]bool, 0, g.numEdges)
+	for id, e := range g.edges {
+		if !g.edgeAlive[id] {
+			continue
+		}
+		nid := EdgeID(len(c.edges))
+		c.edges = append(c.edges, Edge{Label: e.Label, Att: append([]NodeID(nil), e.Att...)})
+		c.edgeAlive = append(c.edgeAlive, true)
+		c.numEdges++
+		for _, v := range e.Att {
+			c.inc[v] = append(c.inc[v], nid)
+		}
+	}
+	return c
+}
+
+// Compact renumbers alive nodes to 1..NumNodes (in ascending old-ID
+// order) and alive edges to 0..NumEdges-1, returning the node mapping
+// old → new. The graph is modified in place.
+func (g *Graph) Compact() map[NodeID]NodeID {
+	remap := make(map[NodeID]NodeID, g.numNodes)
+	next := NodeID(1)
+	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
+		if g.nodeAlive[v] {
+			remap[v] = next
+			next++
+		}
+	}
+	edges := make([]Edge, 0, g.numEdges)
+	for id, e := range g.edges {
+		if !g.edgeAlive[id] {
+			continue
+		}
+		att := make([]NodeID, len(e.Att))
+		for i, v := range e.Att {
+			att[i] = remap[v]
+		}
+		edges = append(edges, Edge{Label: e.Label, Att: att})
+	}
+	ext := make([]NodeID, len(g.ext))
+	for i, v := range g.ext {
+		ext[i] = remap[v]
+	}
+	n := g.numNodes
+	*g = *New(n)
+	for _, e := range edges {
+		g.AddEdge(e.Label, e.Att...)
+	}
+	g.SetExt(ext...)
+	return remap
+}
+
+// Labels returns the sorted set of labels of alive edges.
+func (g *Graph) Labels() []Label {
+	seen := map[Label]bool{}
+	for id, e := range g.edges {
+		if g.edgeAlive[id] {
+			seen[e.Label] = true
+		}
+	}
+	out := make([]Label, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxRank returns the largest edge rank in the graph (0 if no edges).
+func (g *Graph) MaxRank() int {
+	m := 0
+	for id, e := range g.edges {
+		if g.edgeAlive[id] && len(e.Att) > m {
+			m = len(e.Att)
+		}
+	}
+	return m
+}

@@ -1,0 +1,257 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triple is a directed labeled edge (s, p, o) in RDF reading order:
+// an edge from Src to Dst labeled Label.
+type Triple struct {
+	Src, Dst NodeID
+	Label    Label
+}
+
+// FromTriples builds a simple graph with nodes 1..n from a triple
+// list. Triples with Src == Dst (self-loops, excluded by the paper's
+// hypergraph restriction) and exact duplicates are skipped; the count
+// of skipped triples is returned alongside the graph.
+func FromTriples(n int, triples []Triple) (*Graph, int) {
+	g := New(n)
+	seen := make(map[Triple]bool, len(triples))
+	skipped := 0
+	for _, t := range triples {
+		if t.Src == t.Dst || seen[t] {
+			skipped++
+			continue
+		}
+		seen[t] = true
+		g.AddEdge(t.Label, t.Src, t.Dst)
+	}
+	return g, skipped
+}
+
+// Triples extracts all rank-2 edges as triples, sorted. Panics if the
+// graph contains hyperedges of a different rank.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.numEdges)
+	for id, e := range g.edges {
+		if !g.edgeAlive[id] {
+			continue
+		}
+		if len(e.Att) != 2 {
+			panic(fmt.Sprintf("hypergraph: Triples: edge %d has rank %d", id, len(e.Att)))
+		}
+		out = append(out, Triple{Src: e.Att[0], Dst: e.Att[1], Label: e.Label})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+// OutNeighbors returns the distinct targets of rank-2 edges leaving v,
+// ascending. Hyperedges are ignored.
+func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	var out []NodeID
+	for _, id := range g.Incident(v) {
+		e := &g.edges[id]
+		if len(e.Att) == 2 && e.Att[0] == v {
+			out = append(out, e.Att[1])
+		}
+	}
+	return dedupNodes(out)
+}
+
+// InNeighbors returns the distinct sources of rank-2 edges entering v,
+// ascending. Hyperedges are ignored.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	var out []NodeID
+	for _, id := range g.Incident(v) {
+		e := &g.edges[id]
+		if len(e.Att) == 2 && e.Att[1] == v {
+			out = append(out, e.Att[0])
+		}
+	}
+	return dedupNodes(out)
+}
+
+// Neighbors returns all distinct nodes sharing an edge with v
+// (any rank, any direction), ascending, excluding v itself.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	var out []NodeID
+	for _, id := range g.Incident(v) {
+		for _, u := range g.edges[id].Att {
+			if u != v {
+				out = append(out, u)
+			}
+		}
+	}
+	return dedupNodes(out)
+}
+
+func dedupNodes(in []NodeID) []NodeID {
+	if len(in) == 0 {
+		return in
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	out := in[:1]
+	for _, v := range in[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EqualSimple reports whether two graphs have identical alive node ID
+// sets and identical rank-2 triple sets. It is an exact (not
+// isomorphism) comparison for simple graphs.
+func EqualSimple(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	an, bn := a.Nodes(), b.Nodes()
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	at, bt := a.Triples(), b.Triples()
+	for i := range at {
+		if at[i] != bt[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualHyper reports whether two graphs are identical as hypergraphs:
+// same alive node IDs, same external sequence, and the same multiset
+// of (label, attachment) edges.
+func EqualHyper(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() || a.Rank() != b.Rank() {
+		return false
+	}
+	an, bn := a.Nodes(), b.Nodes()
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	for i := range a.ext {
+		if a.ext[i] != b.ext[i] {
+			return false
+		}
+	}
+	key := func(e *Edge) string {
+		s := fmt.Sprint(e.Label, ":")
+		for _, v := range e.Att {
+			s += fmt.Sprint(v, ",")
+		}
+		return s
+	}
+	count := map[string]int{}
+	for id := range a.edges {
+		if a.edgeAlive[id] {
+			count[key(&a.edges[id])]++
+		}
+	}
+	for id := range b.edges {
+		if b.edgeAlive[id] {
+			count[key(&b.edges[id])]--
+		}
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WeakComponents returns the weakly connected components of the graph
+// (hyperedges connect all their attached nodes). Each component lists
+// its nodes ascending; components are ordered by smallest node.
+func (g *Graph) WeakComponents() [][]NodeID {
+	visited := make([]bool, len(g.nodeAlive))
+	var comps [][]NodeID
+	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
+		if !g.nodeAlive[v] || visited[v] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{v}
+		visited[v] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, id := range g.Incident(u) {
+				for _, w := range g.edges[id].Att {
+					if !visited[w] {
+						visited[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// EdgeKey returns a hash key identifying an edge by (label,
+// attachment), used to prevent duplicate parallel edges during
+// compression.
+func EdgeKey(label Label, att []NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(uint32(label))) * prime64
+	for _, v := range att {
+		h = (h ^ uint64(uint32(v))) * prime64
+	}
+	return h
+}
+
+// Reachable reports whether dst is reachable from src following rank-2
+// edge directions (BFS on the uncompressed graph). Used as the ground
+// truth for grammar-based reachability.
+func (g *Graph) Reachable(src, dst NodeID) bool {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	visited := make([]bool, len(g.nodeAlive))
+	queue := []NodeID{src}
+	visited[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.Incident(u) {
+			e := &g.edges[id]
+			if len(e.Att) == 2 && e.Att[0] == u && !visited[e.Att[1]] {
+				if e.Att[1] == dst {
+					return true
+				}
+				visited[e.Att[1]] = true
+				queue = append(queue, e.Att[1])
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,338 @@
+// Package order implements the node orders of "Compressing Graphs by
+// Grammars" Sec. III-B1. The node order steers gRePair's greedy digram
+// occurrence counting and is the main knob for compression quality.
+//
+// Orders: Natural (node IDs as given), BFS and DFS traversal orders,
+// Random (seeded shuffle), FP0 (degree order), and FP — the fixpoint
+// color refinement the paper introduces, which starts from node
+// degrees and iteratively refines node colors by the sorted colors of
+// their neighborhoods until a fixpoint is reached. FP also yields the
+// equivalence relation ≅FP whose class count the paper correlates with
+// compression ratio (Fig. 11).
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// Kind selects a node order.
+type Kind int
+
+// The available node orders.
+const (
+	Natural Kind = iota
+	BFS
+	DFS
+	Random
+	FP0
+	FP
+	// Extensions beyond the paper (its conclusion names better node
+	// orderings as future work):
+
+	// DegreeDesc visits hubs first — replacements around high-degree
+	// nodes happen before their edges are consumed elsewhere.
+	DegreeDesc
+	// Shingle orders nodes by a min-hash fingerprint of their
+	// neighborhood, grouping nodes with similar adjacency (the
+	// clustering idea of Buehrer & Chellapilla applied to ordering).
+	Shingle
+)
+
+// String returns the name used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case Natural:
+		return "natural"
+	case BFS:
+		return "bfs"
+	case DFS:
+		return "dfs"
+	case Random:
+		return "random"
+	case FP0:
+		return "fp0"
+	case FP:
+		return "fp"
+	case DegreeDesc:
+		return "degdesc"
+	case Shingle:
+		return "shingle"
+	default:
+		return fmt.Sprintf("order.Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the paper's orders, in the order its Fig. 10 reports.
+var Kinds = []Kind{Natural, BFS, FP0, FP, Random}
+
+// ExtendedKinds additionally includes the orders this library adds
+// beyond the paper.
+var ExtendedKinds = []Kind{Natural, BFS, DFS, FP0, FP, Random, DegreeDesc, Shingle}
+
+// Result is a computed node order.
+type Result struct {
+	// Seq lists the alive nodes in traversal order.
+	Seq []hypergraph.NodeID
+	// Pos maps a node ID to its position in Seq (-1 for dead nodes).
+	// Indexed by NodeID; index 0 is unused.
+	Pos []int32
+	// Classes is the number of ≅ equivalence classes: for FP and FP0
+	// the number of distinct colors at the fixpoint, for every other
+	// order the number of nodes (the order is then total).
+	Classes int
+}
+
+// Less reports whether u precedes v in the order.
+func (r *Result) Less(u, v hypergraph.NodeID) bool { return r.Pos[u] < r.Pos[v] }
+
+// Compute returns the requested order of g's alive nodes. The seed is
+// used only by Random.
+func Compute(g *hypergraph.Graph, kind Kind, seed int64) *Result {
+	switch kind {
+	case Natural:
+		return fromSeq(g, g.Nodes())
+	case BFS:
+		return fromSeq(g, traverse(g, false))
+	case DFS:
+		return fromSeq(g, traverse(g, true))
+	case Random:
+		seq := g.Nodes()
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		return fromSeq(g, seq)
+	case FP0:
+		return refine(g, 1)
+	case FP:
+		return refine(g, -1)
+	case DegreeDesc:
+		seq := g.Nodes()
+		sort.SliceStable(seq, func(i, j int) bool {
+			return g.Degree(seq[i]) > g.Degree(seq[j])
+		})
+		return fromSeq(g, seq)
+	case Shingle:
+		return shingleOrder(g)
+	default:
+		panic(fmt.Sprintf("order: unknown kind %d", int(kind)))
+	}
+}
+
+// FPClasses returns |[≅FP]|, the number of equivalence classes of the
+// FP fixpoint relation (reported in the paper's dataset tables).
+func FPClasses(g *hypergraph.Graph) int { return Compute(g, FP, 0).Classes }
+
+func fromSeq(g *hypergraph.Graph, seq []hypergraph.NodeID) *Result {
+	r := &Result{Seq: seq, Pos: make([]int32, g.MaxNodeID()+1), Classes: len(seq)}
+	for i := range r.Pos {
+		r.Pos[i] = -1
+	}
+	for i, v := range seq {
+		r.Pos[v] = int32(i)
+	}
+	return r
+}
+
+// traverse produces a BFS (dfs=false) or DFS (dfs=true) order, using
+// the smallest unvisited node ID as the root of each component and
+// visiting neighbors in ascending ID order.
+func traverse(g *hypergraph.Graph, dfs bool) []hypergraph.NodeID {
+	n := int(g.MaxNodeID())
+	visited := make([]bool, n+1)
+	seq := make([]hypergraph.NodeID, 0, g.NumNodes())
+	for _, root := range g.Nodes() {
+		if visited[root] {
+			continue
+		}
+		if dfs {
+			stack := []hypergraph.NodeID{root}
+			visited[root] = true
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				seq = append(seq, u)
+				nbs := g.Neighbors(u)
+				// Push in reverse so the smallest neighbor pops first.
+				for i := len(nbs) - 1; i >= 0; i-- {
+					if !visited[nbs[i]] {
+						visited[nbs[i]] = true
+						stack = append(stack, nbs[i])
+					}
+				}
+			}
+		} else {
+			queue := []hypergraph.NodeID{root}
+			visited[root] = true
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				seq = append(seq, u)
+				for _, w := range g.Neighbors(u) {
+					if !visited[w] {
+						visited[w] = true
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+	}
+	return seq
+}
+
+// refine runs the FP fixpoint of Sec. III-B1: c0(v) = d(v); each round
+// maps v to the tuple (c(v), sorted incident-edge signatures) and
+// relabels tuples by their lexicographic rank. maxRounds < 0 iterates
+// to the fixpoint; maxRounds = 1 yields FP0 (the plain degree order).
+//
+// The paper defines the computation for undirected unlabeled graphs
+// and notes it "can be straightforwardly extended to directed labeled
+// graphs"; our signatures include the edge label and the positions of
+// both endpoints in the attachment sequence, which specializes to
+// (label, direction) for rank-2 edges and covers hyperedges.
+func refine(g *hypergraph.Graph, maxRounds int) *Result {
+	nodes := g.Nodes()
+	n := len(nodes)
+	maxID := int(g.MaxNodeID())
+	color := make([]int64, maxID+1)
+
+	// Round 0: colors are degrees.
+	for _, v := range nodes {
+		color[v] = int64(g.Degree(v))
+	}
+	classes := countClasses(nodes, color)
+	rounds := 1
+
+	type sigNode struct {
+		v   hypergraph.NodeID
+		sig []int64 // [own color, sorted packed neighbor tuples...]
+	}
+	sigs := make([]sigNode, n)
+
+	for maxRounds < 0 || rounds < maxRounds {
+		for i, v := range nodes {
+			tuples := make([]int64, 0, g.Degree(v))
+			for _, id := range g.Incident(v) {
+				att := g.Att(id)
+				lab := int64(g.Label(id))
+				myPos := int64(g.AttPos(id, v))
+				for otherPos, u := range att {
+					if u == v {
+						continue
+					}
+					// Pack (label, myPos, otherPos, color(u)). Colors are
+					// class indices < n, so 32 bits suffice; labels and
+					// positions stay well below their fields.
+					t := lab<<44 | myPos<<38 | int64(otherPos)<<32 | color[u]
+					tuples = append(tuples, t)
+				}
+			}
+			sort.Slice(tuples, func(a, b int) bool { return tuples[a] < tuples[b] })
+			sig := make([]int64, 1, 1+len(tuples))
+			sig[0] = color[v]
+			sigs[i] = sigNode{v: v, sig: append(sig, tuples...)}
+		}
+		sort.Slice(sigs, func(a, b int) bool { return lessSig(sigs[a].sig, sigs[b].sig) })
+		next := make([]int64, maxID+1)
+		cls := int64(0)
+		for i := range sigs {
+			if i > 0 && lessSig(sigs[i-1].sig, sigs[i].sig) {
+				cls++
+			}
+			next[sigs[i].v] = cls
+		}
+		newClasses := int(cls) + 1
+		copy(color, next)
+		rounds++
+		if newClasses == classes {
+			break // fixpoint: refinement is monotone, equal count ⇒ stable
+		}
+		classes = newClasses
+		if rounds > n+1 { // safety net; refinement terminates in ≤ n rounds
+			break
+		}
+	}
+
+	seq := append([]hypergraph.NodeID(nil), nodes...)
+	sort.Slice(seq, func(i, j int) bool {
+		if color[seq[i]] != color[seq[j]] {
+			return color[seq[i]] < color[seq[j]]
+		}
+		return seq[i] < seq[j]
+	})
+	r := fromSeq(g, seq)
+	r.Classes = countClasses(nodes, color)
+	return r
+}
+
+// shingleOrder sorts nodes by a min-hash fingerprint of their labeled
+// neighborhood: nodes with similar adjacency sort near each other, so
+// the greedy digram counting sees repeated local structure in runs.
+func shingleOrder(g *hypergraph.Graph) *Result {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hash := func(x uint64) uint64 {
+		h := uint64(offset64)
+		for i := 0; i < 8; i++ {
+			h = (h ^ (x & 0xFF)) * prime64
+			x >>= 8
+		}
+		return h
+	}
+	type fp struct {
+		v   hypergraph.NodeID
+		min uint64
+		deg int
+	}
+	fps := make([]fp, 0, g.NumNodes())
+	for _, v := range g.Nodes() {
+		best := ^uint64(0)
+		for _, id := range g.Incident(v) {
+			for _, u := range g.Att(id) {
+				if u == v {
+					continue
+				}
+				h := hash(uint64(uint32(u))<<32 | uint64(uint32(g.Label(id))))
+				if h < best {
+					best = h
+				}
+			}
+		}
+		fps = append(fps, fp{v: v, min: best, deg: g.Degree(v)})
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		if fps[i].min != fps[j].min {
+			return fps[i].min < fps[j].min
+		}
+		if fps[i].deg != fps[j].deg {
+			return fps[i].deg < fps[j].deg
+		}
+		return fps[i].v < fps[j].v
+	})
+	seq := make([]hypergraph.NodeID, len(fps))
+	for i, f := range fps {
+		seq[i] = f.v
+	}
+	return fromSeq(g, seq)
+}
+
+func lessSig(a, b []int64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func countClasses(nodes []hypergraph.NodeID, color []int64) int {
+	seen := map[int64]bool{}
+	for _, v := range nodes {
+		seen[color[v]] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,442 @@
+package query
+
+import (
+	"fmt"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// skeletons computes, bottom-up in ≤NT order, the skeleton of every
+// nonterminal: sk(A)[i][j] = true iff the j-th external node of val(A)
+// is reachable from the i-th (Thm. 6). We store the reachability
+// relation restricted to external nodes directly (at most rank² bits)
+// instead of the paper's SCC cycle gadget — same semantics, and linear
+// for bounded rank (see DESIGN.md §5).
+func (e *Engine) skeletons() map[hypergraph.Label][][]bool {
+	if e.skel != nil {
+		return e.skel
+	}
+	e.skel = make(map[hypergraph.Label][][]bool, e.g.NumRules())
+	for _, nt := range e.g.BottomUpOrder() {
+		rhs := e.g.Rule(nt)
+		adj := e.expandedAdjacency(rhs)
+		ext := rhs.Ext()
+		sk := make([][]bool, len(ext))
+		for i, src := range ext {
+			sk[i] = make([]bool, len(ext))
+			reach := bfs(adj, src)
+			for j, dst := range ext {
+				if i != j && reach[dst] {
+					sk[i][j] = true
+				}
+			}
+		}
+		e.skel[nt] = sk
+	}
+	return e.skel
+}
+
+// expandedAdjacency builds the directed adjacency of a right-hand side
+// (or the start graph) with every nonterminal edge replaced by its
+// skeleton edges.
+func (e *Engine) expandedAdjacency(h *hypergraph.Graph) map[hypergraph.NodeID][]hypergraph.NodeID {
+	adj := make(map[hypergraph.NodeID][]hypergraph.NodeID, h.NumNodes())
+	for _, id := range h.Edges() {
+		ed := h.Edge(id)
+		if e.g.IsTerminal(ed.Label) {
+			adj[ed.Att[0]] = append(adj[ed.Att[0]], ed.Att[1])
+			continue
+		}
+		sk := e.skel[ed.Label]
+		for i := range sk {
+			for j := range sk[i] {
+				if sk[i][j] {
+					adj[ed.Att[i]] = append(adj[ed.Att[i]], ed.Att[j])
+				}
+			}
+		}
+	}
+	return adj
+}
+
+func bfs(adj map[hypergraph.NodeID][]hypergraph.NodeID, src hypergraph.NodeID) map[hypergraph.NodeID]bool {
+	reach := map[hypergraph.NodeID]bool{src: true}
+	queue := []hypergraph.NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if !reach[u] {
+				reach[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return reach
+}
+
+// nodeKey names a node of the path-expanded graph: the instance it
+// belongs to (by derivation-path key; "" is the start graph) and its
+// node ID there.
+type nodeKey struct {
+	inst string
+	node hypergraph.NodeID
+}
+
+// instance is one expanded right-hand side along a G-representation
+// path.
+type instance struct {
+	key    string
+	parent string
+	edge   hypergraph.EdgeID // edge in parent deriving this instance
+	graph  *hypergraph.Graph
+}
+
+// pathExpansion glues the start graph and the right-hand-side
+// instances along one or two G-representation paths, sharing instances
+// along common prefixes. It backs both plain reachability (Thm. 6) and
+// regular path queries.
+type pathExpansion struct {
+	e         *Engine
+	instances map[string]instance
+	// onPath[instKey][edgeID]: this nonterminal edge is expanded as a
+	// child instance, so its skeleton must not be added.
+	onPath map[string]map[hypergraph.EdgeID]bool
+}
+
+func prefKey(path []hypergraph.EdgeID, n int) string {
+	b := make([]byte, 0, 4*n)
+	for _, id := range path[:n] {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// expandPaths builds the shared instance set for the given locations.
+func (e *Engine) expandPaths(locs ...*Location) *pathExpansion {
+	px := &pathExpansion{
+		e:         e,
+		instances: map[string]instance{"": {key: "", graph: e.g.Start}},
+		onPath:    map[string]map[hypergraph.EdgeID]bool{},
+	}
+	for _, l := range locs {
+		for n := 1; n <= len(l.Path); n++ {
+			k := prefKey(l.Path, n)
+			if _, ok := px.instances[k]; ok {
+				continue
+			}
+			px.instances[k] = instance{
+				key:    k,
+				parent: prefKey(l.Path, n-1),
+				edge:   l.Path[n-1],
+				graph:  l.Graphs[n],
+			}
+		}
+	}
+	for _, ins := range px.instances {
+		if ins.key == "" {
+			continue
+		}
+		if px.onPath[ins.parent] == nil {
+			px.onPath[ins.parent] = map[hypergraph.EdgeID]bool{}
+		}
+		px.onPath[ins.parent][ins.edge] = true
+	}
+	return px
+}
+
+// keyOf returns the instance key of a location's innermost graph.
+func (px *pathExpansion) keyOf(l *Location) string {
+	return prefKey(l.Path, len(l.Path))
+}
+
+// canonical resolves a node of an instance to its canonical key:
+// external nodes of a non-root instance belong to the parent.
+func (px *pathExpansion) canonical(key string, n hypergraph.NodeID) nodeKey {
+	for {
+		ins := px.instances[key]
+		if key == "" || !ins.graph.IsExternal(n) {
+			return nodeKey{key, n}
+		}
+		parent := px.instances[ins.parent]
+		n = parent.graph.Att(ins.edge)[ins.graph.ExtIndex(n)]
+		key = ins.parent
+	}
+}
+
+// forEachEdge yields every edge of every expanded instance, skipping
+// nonterminal edges that are themselves expanded as child instances.
+func (px *pathExpansion) forEachEdge(yield func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID)) {
+	for _, ins := range px.instances {
+		for _, id := range ins.graph.Edges() {
+			if !px.e.g.IsTerminal(ins.graph.Label(id)) && px.onPath[ins.key][id] {
+				continue
+			}
+			yield(ins.key, ins.graph, id)
+		}
+	}
+}
+
+// Reachable reports whether derived node v is reachable from derived
+// node u in val(G), evaluated in O(|G|) on the grammar (Thm. 6): the
+// right-hand sides along both G-representations are glued into one
+// "path-expanded" graph (with skeletons standing in for unexpanded
+// subtrees, and instances shared along the common prefix), and a
+// single BFS answers the query. This also covers the case where both
+// nodes lie in the same derivation subtree.
+func (e *Engine) Reachable(u, v int64) (bool, error) {
+	if u == v {
+		return true, nil
+	}
+	lu, err := e.Locate(u)
+	if err != nil {
+		return false, err
+	}
+	lv, err := e.Locate(v)
+	if err != nil {
+		return false, err
+	}
+	e.skeletons()
+	px := e.expandPaths(&lu, &lv)
+
+	adj := map[nodeKey][]nodeKey{}
+	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
+		ed := h.Edge(id)
+		if e.g.IsTerminal(ed.Label) {
+			a := px.canonical(instKey, ed.Att[0])
+			b := px.canonical(instKey, ed.Att[1])
+			adj[a] = append(adj[a], b)
+			return
+		}
+		sk := e.skel[ed.Label]
+		for i := range sk {
+			for j := range sk[i] {
+				if sk[i][j] {
+					a := px.canonical(instKey, ed.Att[i])
+					b := px.canonical(instKey, ed.Att[j])
+					adj[a] = append(adj[a], b)
+				}
+			}
+		}
+	})
+
+	src := px.canonical(px.keyOf(&lu), lu.Node)
+	dst := px.canonical(px.keyOf(&lv), lv.Node)
+	seen := map[nodeKey]bool{src: true}
+	queue := []nodeKey{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == dst {
+			return true, nil
+		}
+		for _, y := range adj[x] {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false, nil
+}
+
+// ComponentCount returns the number of weakly connected components of
+// val(G), computed in one bottom-up pass (a "compatible"/CMSO-style
+// speed-up query, Sec. V): every nonterminal contributes the partition
+// its derivation induces on its attachment nodes plus the count of
+// derived components that touch no external node.
+func (e *Engine) ComponentCount() int64 {
+	type info struct {
+		part     []int // partition: ext position → group id
+		enclosed int64 // components with no external node, incl. nested
+	}
+	infos := make(map[hypergraph.Label]info, e.g.NumRules())
+
+	analyze := func(h *hypergraph.Graph, get func(hypergraph.Label) info) (map[hypergraph.NodeID]hypergraph.NodeID, int64) {
+		parent := make(map[hypergraph.NodeID]hypergraph.NodeID, h.NumNodes())
+		var find func(hypergraph.NodeID) hypergraph.NodeID
+		find = func(x hypergraph.NodeID) hypergraph.NodeID {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		union := func(a, b hypergraph.NodeID) {
+			ra, rb := find(a), find(b)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+		for _, v := range h.Nodes() {
+			parent[v] = v
+		}
+		var nested int64
+		for _, id := range h.Edges() {
+			ed := h.Edge(id)
+			if e.g.IsTerminal(ed.Label) {
+				union(ed.Att[0], ed.Att[1])
+				continue
+			}
+			in := get(ed.Label)
+			nested += in.enclosed
+			// Union attachment nodes in the same partition group.
+			first := map[int]hypergraph.NodeID{}
+			for pos, g := range in.part {
+				if f, ok := first[g]; ok {
+					union(f, ed.Att[pos])
+				} else {
+					first[g] = ed.Att[pos]
+				}
+			}
+		}
+		roots := make(map[hypergraph.NodeID]hypergraph.NodeID, h.NumNodes())
+		for _, v := range h.Nodes() {
+			roots[v] = find(v)
+		}
+		return roots, nested
+	}
+
+	for _, nt := range e.g.BottomUpOrder() {
+		rhs := e.g.Rule(nt)
+		roots, nested := analyze(rhs, func(l hypergraph.Label) info { return infos[l] })
+		// Partition of ext positions; count root classes without ext.
+		groupOf := map[hypergraph.NodeID]int{}
+		part := make([]int, rhs.Rank())
+		for i, x := range rhs.Ext() {
+			r := roots[x]
+			g, ok := groupOf[r]
+			if !ok {
+				g = len(groupOf)
+				groupOf[r] = g
+			}
+			part[i] = g
+		}
+		var enclosed int64
+		seen := map[hypergraph.NodeID]bool{}
+		for _, v := range rhs.Nodes() {
+			r := roots[v]
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if _, hasExt := groupOf[r]; !hasExt {
+				enclosed++
+			}
+		}
+		infos[nt] = info{part: part, enclosed: enclosed + nested}
+	}
+
+	roots, nested := analyze(e.g.Start, func(l hypergraph.Label) info { return infos[l] })
+	seen := map[hypergraph.NodeID]bool{}
+	var top int64
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			top++
+		}
+	}
+	return top + nested
+}
+
+// DegreeStats returns the minimum and maximum degree over all nodes of
+// val(G) in the given direction, in one bottom-up pass (a CMSO-style
+// function query the paper lists as evaluable on the grammar). It
+// returns (0, 0) for a graph with no nodes.
+func (e *Engine) DegreeStats(dir Direction) (min, max int64, err error) {
+	if e.total == 0 {
+		return 0, 0, nil
+	}
+	type info struct {
+		extDeg   []int64 // degree contribution per attachment position
+		min, max int64   // over derived internal nodes
+		hasInt   bool
+	}
+	infos := make(map[hypergraph.Label]info, e.g.NumRules())
+
+	contrib := func(h *hypergraph.Graph) (map[hypergraph.NodeID]int64, int64, int64, bool) {
+		deg := make(map[hypergraph.NodeID]int64, h.NumNodes())
+		for _, v := range h.Nodes() {
+			deg[v] = 0
+		}
+		var nmin, nmax int64
+		nested := false
+		for _, id := range h.Edges() {
+			ed := h.Edge(id)
+			if e.g.IsTerminal(ed.Label) {
+				switch dir {
+				case Out:
+					deg[ed.Att[0]]++
+				case In:
+					deg[ed.Att[1]]++
+				case Both:
+					deg[ed.Att[0]]++
+					deg[ed.Att[1]]++
+				}
+				continue
+			}
+			in := infos[ed.Label]
+			for pos, d := range in.extDeg {
+				deg[ed.Att[pos]] += d
+			}
+			if in.hasInt {
+				if !nested || in.min < nmin {
+					nmin = in.min
+				}
+				if !nested || in.max > nmax {
+					nmax = in.max
+				}
+				nested = true
+			}
+		}
+		return deg, nmin, nmax, nested
+	}
+
+	for _, nt := range e.g.BottomUpOrder() {
+		rhs := e.g.Rule(nt)
+		deg, nmin, nmax, nested := contrib(rhs)
+		in := info{extDeg: make([]int64, rhs.Rank()), min: nmin, max: nmax, hasInt: nested}
+		for i, x := range rhs.Ext() {
+			in.extDeg[i] = deg[x]
+		}
+		for _, v := range rhs.Nodes() {
+			if rhs.IsExternal(v) {
+				continue
+			}
+			if !in.hasInt || deg[v] < in.min {
+				in.min = deg[v]
+			}
+			if !in.hasInt || deg[v] > in.max {
+				in.max = deg[v]
+			}
+			in.hasInt = true
+		}
+		infos[nt] = in
+	}
+
+	deg, nmin, nmax, nested := contrib(e.g.Start)
+	first := true
+	for _, v := range e.g.Start.Nodes() {
+		d := deg[v]
+		if first || d < min {
+			min = d
+		}
+		if first || d > max {
+			max = d
+		}
+		first = false
+	}
+	if nested {
+		if first || nmin < min {
+			min = nmin
+		}
+		if first || nmax > max {
+			max = nmax
+		}
+		first = false
+	}
+	if first {
+		return 0, 0, fmt.Errorf("query: DegreeStats on empty graph")
+	}
+	return min, max, nil
+}

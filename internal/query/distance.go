@@ -1,0 +1,209 @@
+package query
+
+import (
+	"graphrepair/internal/hypergraph"
+)
+
+// Distances generalize the paper's reachability skeletons (Thm. 6) to
+// the min-plus semiring: dsk(A)[i][j] is the length of a shortest
+// directed path from external node i to external node j inside
+// val(A), or maxDist if none exists. Shortest-path distance is a
+// "compatible" function in the sense of Sec. V (Courcelle–Mosbah
+// evaluations), so it admits the same one-pass bottom-up treatment.
+
+// Unreachable is returned by Distance when no directed path exists.
+const Unreachable = int64(-1)
+
+const maxDist = int64(1) << 62
+
+// distSkeletons computes the min-plus skeletons bottom-up.
+func (e *Engine) distSkeletons() map[hypergraph.Label][][]int64 {
+	if e.dskel != nil {
+		return e.dskel
+	}
+	e.dskel = make(map[hypergraph.Label][][]int64, e.g.NumRules())
+	for _, nt := range e.g.BottomUpOrder() {
+		rhs := e.g.Rule(nt)
+		adj := e.expandedWeighted(rhs)
+		ext := rhs.Ext()
+		sk := make([][]int64, len(ext))
+		for i, src := range ext {
+			dist := dijkstra(adj, src)
+			row := make([]int64, len(ext))
+			for j, dst := range ext {
+				if d, ok := dist[dst]; ok {
+					row[j] = d
+				} else {
+					row[j] = maxDist
+				}
+			}
+			sk[i] = row
+		}
+		e.dskel[nt] = sk
+	}
+	return e.dskel
+}
+
+type wEdge struct {
+	to hypergraph.NodeID
+	w  int64
+}
+
+// expandedWeighted builds the weighted adjacency of a right-hand side:
+// terminal edges have weight 1, nonterminal edges contribute their
+// min-plus skeleton entries.
+func (e *Engine) expandedWeighted(h *hypergraph.Graph) map[hypergraph.NodeID][]wEdge {
+	adj := make(map[hypergraph.NodeID][]wEdge, h.NumNodes())
+	for _, id := range h.Edges() {
+		ed := h.Edge(id)
+		if e.g.IsTerminal(ed.Label) {
+			adj[ed.Att[0]] = append(adj[ed.Att[0]], wEdge{ed.Att[1], 1})
+			continue
+		}
+		sk := e.dskel[ed.Label]
+		for i := range sk {
+			for j, d := range sk[i] {
+				if i != j && d < maxDist {
+					adj[ed.Att[i]] = append(adj[ed.Att[i]], wEdge{ed.Att[j], d})
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// dijkstra runs a simple Dijkstra (small graphs: right-hand sides and
+// path expansions), returning finite distances only.
+func dijkstra(adj map[hypergraph.NodeID][]wEdge, src hypergraph.NodeID) map[hypergraph.NodeID]int64 {
+	dist := map[hypergraph.NodeID]int64{src: 0}
+	done := map[hypergraph.NodeID]bool{}
+	for {
+		// Extract-min by scan; rhs graphs are tiny.
+		var u hypergraph.NodeID
+		best := int64(-1)
+		for v, d := range dist {
+			if !done[v] && (best < 0 || d < best) {
+				best = d
+				u = v
+			}
+		}
+		if best < 0 {
+			return dist
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			nd := best + e.w
+			if d, ok := dist[e.to]; !ok || nd < d {
+				dist[e.to] = nd
+			}
+		}
+	}
+}
+
+// Distance returns the length of a shortest directed path from derived
+// node u to derived node v in val(G), or Unreachable. Like Reachable
+// it works on the path-expanded graph with (min-plus) skeletons
+// summarizing unexpanded subtrees, in O(|G|·rank²) plus the expansion.
+func (e *Engine) Distance(u, v int64) (int64, error) {
+	if u == v {
+		return 0, nil
+	}
+	lu, err := e.Locate(u)
+	if err != nil {
+		return 0, err
+	}
+	lv, err := e.Locate(v)
+	if err != nil {
+		return 0, err
+	}
+	e.distSkeletons()
+	px := e.expandPaths(&lu, &lv)
+
+	adj := map[nodeKey][]struct {
+		to nodeKey
+		w  int64
+	}{}
+	add := func(a, b nodeKey, w int64) {
+		adj[a] = append(adj[a], struct {
+			to nodeKey
+			w  int64
+		}{b, w})
+	}
+	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
+		ed := h.Edge(id)
+		if e.g.IsTerminal(ed.Label) {
+			add(px.canonical(instKey, ed.Att[0]), px.canonical(instKey, ed.Att[1]), 1)
+			return
+		}
+		sk := e.dskel[ed.Label]
+		for i := range sk {
+			for j, d := range sk[i] {
+				if i != j && d < maxDist {
+					add(px.canonical(instKey, ed.Att[i]), px.canonical(instKey, ed.Att[j]), d)
+				}
+			}
+		}
+	})
+
+	src := px.canonical(px.keyOf(&lu), lu.Node)
+	dst := px.canonical(px.keyOf(&lv), lv.Node)
+	// Dijkstra over nodeKeys.
+	dist := map[nodeKey]int64{src: 0}
+	done := map[nodeKey]bool{}
+	for {
+		var u nodeKey
+		best := int64(-1)
+		for n, d := range dist {
+			if !done[n] && (best < 0 || d < best) {
+				best = d
+				u = n
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if u == dst {
+			return best, nil
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			nd := best + e.w
+			if d, ok := dist[e.to]; !ok || nd < d {
+				dist[e.to] = nd
+			}
+		}
+	}
+	return Unreachable, nil
+}
+
+// Diameter-style aggregate: LabelHistogram returns the number of
+// terminal edges of val(G) per label, in one bottom-up pass.
+func (e *Engine) LabelHistogram() map[hypergraph.Label]int64 {
+	per := make(map[hypergraph.Label]map[hypergraph.Label]int64, e.g.NumRules())
+	for _, nt := range e.g.BottomUpOrder() {
+		h := make(map[hypergraph.Label]int64)
+		for _, id := range e.g.Rule(nt).Edges() {
+			lab := e.g.Rule(nt).Label(id)
+			if e.g.IsTerminal(lab) {
+				h[lab]++
+			} else {
+				for l, c := range per[lab] {
+					h[l] += c
+				}
+			}
+		}
+		per[nt] = h
+	}
+	out := make(map[hypergraph.Label]int64)
+	for _, id := range e.g.Start.Edges() {
+		lab := e.g.Start.Label(id)
+		if e.g.IsTerminal(lab) {
+			out[lab]++
+		} else {
+			for l, c := range per[lab] {
+				out[l] += c
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package query evaluates queries directly over SL-HR grammars
+// without decompression (paper Sec. V):
+//
+//   - Node location: mapping a node ID of val(G) to its
+//     G-representation, a path through the derivation (O(log ℓ + h)).
+//   - Neighborhood queries (Prop. 4): in/out neighbors of a node in
+//     O(log ℓ + n·h) for n neighbors.
+//   - Reachability (Thm. 6): (s,t)-reachability in O(|G|) via
+//     per-nonterminal skeleton graphs.
+//   - Speed-up queries evaluated in one bottom-up pass: number of
+//     weakly connected components, minimum/maximum degree, node and
+//     edge counts.
+//
+// The paper describes these algorithms but reports they were not
+// implemented; this package implements and tests all of them.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"graphrepair/internal/grammar"
+	"graphrepair/internal/hypergraph"
+)
+
+// Engine answers queries over one grammar. Building an Engine
+// precomputes, in one bottom-up pass, the per-nonterminal derived node
+// counts, the per-rule nonterminal-edge tables, and the block offsets
+// of the start graph's nonterminal edges — everything the node
+// numbering of val(G) depends on.
+type Engine struct {
+	g *grammar.Grammar
+	// nodeCounts[A] = number of nodes an A-edge derives.
+	nodeCounts map[hypergraph.Label]int64
+	// rules[A] holds the per-rule derivation table.
+	rules map[hypergraph.Label]*ruleInfo
+	// m = |V_S|; derived IDs 1..m are start-graph nodes.
+	m int64
+	// top-level nonterminal edges of S in canonical derivation order,
+	// with the base offset of each edge's contiguous derived block.
+	topEdges []hypergraph.EdgeID
+	topBase  []int64
+	total    int64 // |val(G)|V
+	skel     map[hypergraph.Label][][]bool
+	dskel    map[hypergraph.Label][][]int64
+}
+
+// ruleInfo caches the layout of one rule's derived block: internal
+// nodes in ascending ID order (their block positions), and nested
+// nonterminal edges with prefix sums of their derived node counts.
+type ruleInfo struct {
+	rhs       *hypergraph.Graph
+	internal  []hypergraph.NodeID // ascending internal node IDs
+	intIndex  map[hypergraph.NodeID]int64
+	ntEdges   []hypergraph.EdgeID // ascending edge IDs
+	ntOffsets []int64             // block offset of each nested edge
+	derived   int64               // total nodes derived by one instance
+}
+
+// New builds a query engine. The grammar must be valid; it is shared,
+// not copied, and must not be mutated while the engine is in use.
+func New(g *grammar.Grammar) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	e := &Engine{
+		g:          g,
+		nodeCounts: g.DerivedNodeCounts(),
+		rules:      make(map[hypergraph.Label]*ruleInfo, g.NumRules()),
+		m:          int64(g.Start.NumNodes()),
+	}
+	for _, nt := range g.Nonterminals() {
+		rhs := g.Rule(nt)
+		ri := &ruleInfo{rhs: rhs, intIndex: make(map[hypergraph.NodeID]int64)}
+		for _, v := range rhs.Nodes() {
+			if !rhs.IsExternal(v) {
+				ri.intIndex[v] = int64(len(ri.internal))
+				ri.internal = append(ri.internal, v)
+			}
+		}
+		off := int64(len(ri.internal))
+		for _, id := range rhs.Edges() {
+			if lab := rhs.Label(id); !g.IsTerminal(lab) {
+				ri.ntEdges = append(ri.ntEdges, id)
+				ri.ntOffsets = append(ri.ntOffsets, off)
+				off += e.nodeCounts[lab]
+			}
+		}
+		ri.derived = off
+		e.rules[nt] = ri
+	}
+	// Start graph: canonical order = (label, attachment) ascending,
+	// matching grammar.Derive.
+	var nts []hypergraph.EdgeID
+	for _, id := range g.Start.Edges() {
+		if !g.IsTerminal(g.Start.Label(id)) {
+			nts = append(nts, id)
+		}
+	}
+	s := g.Start
+	sort.Slice(nts, func(i, j int) bool {
+		a, b := s.Edge(nts[i]), s.Edge(nts[j])
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		for k := 0; k < len(a.Att) && k < len(b.Att); k++ {
+			if a.Att[k] != b.Att[k] {
+				return a.Att[k] < b.Att[k]
+			}
+		}
+		return len(a.Att) < len(b.Att)
+	})
+	base := e.m
+	for _, id := range nts {
+		e.topEdges = append(e.topEdges, id)
+		e.topBase = append(e.topBase, base)
+		base += e.nodeCounts[s.Label(id)]
+	}
+	e.total = base
+	return e, nil
+}
+
+// NumNodes returns |val(G)|V: valid node IDs are 1..NumNodes().
+func (e *Engine) NumNodes() int64 { return e.total }
+
+// NumEdges returns the number of terminal edges of val(G).
+func (e *Engine) NumEdges() int64 {
+	_, edges := e.g.DerivedSize()
+	return edges
+}
+
+// Location is the G-representation of a derived node: a path of
+// nonterminal edges (Path[0] in the start graph, Path[i] in the rule
+// of Path[i-1]'s label) ending at node Node of the innermost graph.
+// An empty path means Node is a start-graph node.
+type Location struct {
+	Path []hypergraph.EdgeID
+	// Graphs[i] is the graph Path[i] lives in: Graphs[0] = S, then
+	// right-hand sides. len(Graphs) = len(Path)+1; the last entry is
+	// the graph containing Node.
+	Graphs []*hypergraph.Graph
+	// Bases[i] is the derived-ID block base of level i (Bases[0] = 0
+	// stands for the start graph, whose nodes are their own IDs).
+	Bases []int64
+	Node  hypergraph.NodeID
+}
+
+// Locate computes the G-representation of derived node ID k in
+// O(log ℓ + h) time (binary search over the start graph's nonterminal
+// edges, then one descent through the rules).
+func (e *Engine) Locate(k int64) (Location, error) {
+	if k < 1 || k > e.total {
+		return Location{}, fmt.Errorf("query: node ID %d out of range 1..%d", k, e.total)
+	}
+	loc := Location{Graphs: []*hypergraph.Graph{e.g.Start}, Bases: []int64{0}}
+	if k <= e.m {
+		loc.Node = hypergraph.NodeID(k)
+		return loc, nil
+	}
+	// Binary search: last top edge with base < k.
+	i := sort.Search(len(e.topBase), func(i int) bool { return e.topBase[i] >= k }) - 1
+	h := e.g.Start
+	edge := e.topEdges[i]
+	base := e.topBase[i]
+	for {
+		loc.Path = append(loc.Path, edge)
+		ri := e.rules[h.Label(edge)]
+		loc.Graphs = append(loc.Graphs, ri.rhs)
+		loc.Bases = append(loc.Bases, base)
+		off := k - base // 1-based offset within the block
+		if off <= int64(len(ri.internal)) {
+			loc.Node = ri.internal[off-1]
+			return loc, nil
+		}
+		// Find the nested edge whose sub-block contains off-1.
+		j := sort.Search(len(ri.ntOffsets), func(j int) bool { return ri.ntOffsets[j] >= off }) - 1
+		h = ri.rhs
+		edge = ri.ntEdges[j]
+		base += ri.ntOffsets[j]
+	}
+}
+
+// resolveUp returns the derived ID of node v of level i of loc
+// (following external nodes up through the attachment chain until an
+// internal or start-graph node is reached).
+func (e *Engine) resolveUp(loc *Location, i int, v hypergraph.NodeID) int64 {
+	for {
+		if i == 0 {
+			return int64(v) // start-graph nodes are their own IDs
+		}
+		h := loc.Graphs[i]
+		if !h.IsExternal(v) {
+			ri := e.rules[loc.Graphs[i-1].Label(loc.Path[i-1])]
+			return loc.Bases[i] + ri.intIndex[v] + 1
+		}
+		// External: follow the attachment of the edge one level up.
+		v = loc.Graphs[i-1].Att(loc.Path[i-1])[h.ExtIndex(v)]
+		i--
+	}
+}
+
+// childBase returns the derived-ID block base of nested nonterminal
+// edge id of rule label lab, given the parent block base.
+func (e *Engine) childBase(parentBase int64, lab hypergraph.Label, id hypergraph.EdgeID) int64 {
+	ri := e.rules[lab]
+	for j, ne := range ri.ntEdges {
+		if ne == id {
+			return parentBase + ri.ntOffsets[j]
+		}
+	}
+	panic("query: edge is not a nonterminal edge of the rule")
+}
+
+// topEdgeBase returns the block base of a top-level nonterminal edge.
+func (e *Engine) topEdgeBase(id hypergraph.EdgeID) int64 {
+	for i, te := range e.topEdges {
+		if te == id {
+			return e.topBase[i]
+		}
+	}
+	panic("query: edge is not a top-level nonterminal edge")
+}

@@ -1,0 +1,120 @@
+package query
+
+import (
+	"sort"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// Direction selects which neighbors a neighborhood query returns.
+type Direction int
+
+// Neighborhood directions: Out follows edge direction source→target,
+// In the reverse, Both ignores direction.
+const (
+	Out Direction = iota
+	In
+	Both
+)
+
+// Neighbors returns the derived node IDs adjacent to node k of val(G)
+// in the given direction, sorted ascending, computed directly on the
+// grammar (Prop. 4): O(log ℓ + n·h) for n neighbors.
+func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
+	loc, err := e.Locate(k)
+	if err != nil {
+		return nil, err
+	}
+	level := len(loc.Graphs) - 1
+	h := loc.Graphs[level]
+	resolveHost := func(w hypergraph.NodeID) int64 { return e.resolveUp(&loc, level, w) }
+
+	var out []int64
+	for _, id := range h.Incident(loc.Node) {
+		ed := h.Edge(id)
+		if e.g.IsTerminal(ed.Label) {
+			if u, ok := terminalNeighbor(ed, loc.Node, dir); ok {
+				out = append(out, resolveHost(u))
+			}
+			continue
+		}
+		// Nonterminal edge incident with the node: descend into the
+		// derived subgraph (paper's getNeighboring).
+		p := h.AttPos(id, loc.Node)
+		var base int64
+		if level == 0 {
+			base = e.topEdgeBase(id)
+		} else {
+			parentLab := loc.Graphs[level-1].Label(loc.Path[level-1])
+			base = e.childBase(loc.Bases[level], parentLab, id)
+		}
+		e.collectDeep(h, id, base, p, dir, resolveHost, &out)
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup, nil
+}
+
+// terminalNeighbor returns the neighbor of v along a rank-2 terminal
+// edge in the requested direction.
+func terminalNeighbor(ed *hypergraph.Edge, v hypergraph.NodeID, dir Direction) (hypergraph.NodeID, bool) {
+	src, dst := ed.Att[0], ed.Att[1]
+	switch dir {
+	case Out:
+		if src == v {
+			return dst, true
+		}
+	case In:
+		if dst == v {
+			return src, true
+		}
+	case Both:
+		if src == v {
+			return dst, true
+		}
+		if dst == v {
+			return src, true
+		}
+	}
+	return 0, false
+}
+
+// collectDeep implements the paper's getNeighboring(e, p): it collects
+// the derived IDs of the neighbors of the p-th external node within
+// the subgraph derived by nonterminal edge id. host is the graph the
+// edge lives in (start graph or a right-hand side); base is the
+// derived-ID block base of the edge; resolveHost maps host nodes to
+// their derived IDs (capturing the context above the host). The
+// recursion visits each neighbor in O(h) as in Prop. 4.
+func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
+	base int64, p int, dir Direction, resolveHost func(hypergraph.NodeID) int64,
+	out *[]int64) {
+	lab := host.Label(id)
+	ri := e.rules[lab]
+	rhs := ri.rhs
+	x := rhs.Ext()[p]
+	// Resolver for nodes of rhs in this instance's context.
+	resolveHere := func(w hypergraph.NodeID) int64 {
+		if rhs.IsExternal(w) {
+			return resolveHost(host.Att(id)[rhs.ExtIndex(w)])
+		}
+		return base + ri.intIndex[w] + 1
+	}
+	for _, eid := range rhs.Incident(x) {
+		ed := rhs.Edge(eid)
+		if e.g.IsTerminal(ed.Label) {
+			if u, ok := terminalNeighbor(ed, x, dir); ok {
+				*out = append(*out, resolveHere(u))
+			}
+			continue
+		}
+		pp := rhs.AttPos(eid, x)
+		e.collectDeep(rhs, eid, e.childBase(base, lab, eid), pp, dir, resolveHere, out)
+	}
+}

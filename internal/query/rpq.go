@@ -1,0 +1,233 @@
+package query
+
+import (
+	"fmt"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// NFA is a nondeterministic finite automaton over edge labels, the
+// query alphabet of regular path queries. States are 0..States-1;
+// Start is the initial state.
+type NFA struct {
+	States int
+	Start  int
+	Accept []bool
+	trans  map[int]map[hypergraph.Label][]int
+}
+
+// NewNFA returns an NFA with n states, none accepting, no transitions.
+func NewNFA(n, start int) *NFA {
+	if n < 1 || start < 0 || start >= n {
+		panic(fmt.Sprintf("query: bad NFA shape n=%d start=%d", n, start))
+	}
+	return &NFA{States: n, Start: start, Accept: make([]bool, n),
+		trans: map[int]map[hypergraph.Label][]int{}}
+}
+
+// AddTransition adds q --label--> p.
+func (a *NFA) AddTransition(q int, label hypergraph.Label, p int) {
+	if a.trans[q] == nil {
+		a.trans[q] = map[hypergraph.Label][]int{}
+	}
+	a.trans[q][label] = append(a.trans[q][label], p)
+}
+
+// SetAccept marks state q accepting.
+func (a *NFA) SetAccept(q int) { a.Accept[q] = true }
+
+// Next returns the states reachable from q on one label.
+func (a *NFA) Next(q int, label hypergraph.Label) []int {
+	return a.trans[q][label]
+}
+
+// PathNFA builds an automaton accepting exactly the label sequence
+// given (a fixed-length path query).
+func PathNFA(labels ...hypergraph.Label) *NFA {
+	a := NewNFA(len(labels)+1, 0)
+	for i, l := range labels {
+		a.AddTransition(i, l, i+1)
+	}
+	a.SetAccept(len(labels))
+	return a
+}
+
+// StarNFA builds an automaton accepting any sequence (including the
+// empty one) over the given labels: l1|l2|...)*.
+func StarNFA(labels ...hypergraph.Label) *NFA {
+	a := NewNFA(1, 0)
+	for _, l := range labels {
+		a.AddTransition(0, l, 0)
+	}
+	a.SetAccept(0)
+	return a
+}
+
+// RPQ is a regular path query evaluator prepared for one grammar and
+// one automaton. Preparation computes, bottom-up, the product
+// skeletons sk(A) ⊆ (ext × states)²: whether external node j can be
+// reached in state q' from external node i in state q inside val(A).
+// This extends the paper's Thm.-6 skeletons to the product with an
+// NFA — the "regular path queries" extension named in the paper's
+// conclusion as future work.
+type RPQ struct {
+	e   *Engine
+	nfa *NFA
+	// skel[A][i*Q+q][j*Q+q'] — product reachability among externals.
+	skel map[hypergraph.Label][][]bool
+}
+
+// NewRPQ prepares a regular path query evaluator in O(|G|·Q²) for Q
+// NFA states (bounded rank).
+func (e *Engine) NewRPQ(nfa *NFA) *RPQ {
+	r := &RPQ{e: e, nfa: nfa, skel: make(map[hypergraph.Label][][]bool, e.g.NumRules())}
+	Q := nfa.States
+	for _, nt := range e.g.BottomUpOrder() {
+		rhs := e.g.Rule(nt)
+		ext := rhs.Ext()
+		adj := r.productAdjacency(rhs)
+		sk := make([][]bool, len(ext)*Q)
+		for i, src := range ext {
+			for q := 0; q < Q; q++ {
+				row := make([]bool, len(ext)*Q)
+				reach := bfsProduct(adj, prodNode{src, q})
+				for j, dst := range ext {
+					for p := 0; p < Q; p++ {
+						if (i != j || q != p) && reach[prodNode{dst, p}] {
+							row[j*Q+p] = true
+						}
+					}
+				}
+				sk[i*Q+q] = row
+			}
+		}
+		r.skel[nt] = sk
+	}
+	return r
+}
+
+type prodNode struct {
+	v hypergraph.NodeID
+	q int
+}
+
+// productAdjacency builds the product of a right-hand side (or start
+// graph) with the NFA: terminal edges advance the automaton, nested
+// nonterminal edges contribute their product skeletons.
+func (r *RPQ) productAdjacency(h *hypergraph.Graph) map[prodNode][]prodNode {
+	Q := r.nfa.States
+	adj := map[prodNode][]prodNode{}
+	for _, id := range h.Edges() {
+		ed := h.Edge(id)
+		if r.e.g.IsTerminal(ed.Label) {
+			for q := 0; q < Q; q++ {
+				for _, p := range r.nfa.Next(q, ed.Label) {
+					a := prodNode{ed.Att[0], q}
+					adj[a] = append(adj[a], prodNode{ed.Att[1], p})
+				}
+			}
+			continue
+		}
+		sk := r.skel[ed.Label]
+		for iq := range sk {
+			i, q := iq/Q, iq%Q
+			for jp, ok := range sk[iq] {
+				if !ok {
+					continue
+				}
+				j, p := jp/Q, jp%Q
+				a := prodNode{ed.Att[i], q}
+				adj[a] = append(adj[a], prodNode{ed.Att[j], p})
+			}
+		}
+	}
+	return adj
+}
+
+func bfsProduct(adj map[prodNode][]prodNode, src prodNode) map[prodNode]bool {
+	reach := map[prodNode]bool{src: true}
+	queue := []prodNode{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range adj[x] {
+			if !reach[y] {
+				reach[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return reach
+}
+
+// Matches reports whether some path from derived node u to derived
+// node v spells a word the automaton accepts. Like Reachable, it glues
+// the right-hand sides along both G-representations (product
+// skeletons standing in for unexpanded subtrees) and runs one BFS in
+// the product, O(|G|·Q²) overall.
+func (r *RPQ) Matches(u, v int64) (bool, error) {
+	lu, err := r.e.Locate(u)
+	if err != nil {
+		return false, err
+	}
+	lv, err := r.e.Locate(v)
+	if err != nil {
+		return false, err
+	}
+	px := r.e.expandPaths(&lu, &lv)
+	Q := r.nfa.States
+
+	type pk struct {
+		n nodeKey
+		q int
+	}
+	adj := map[pk][]pk{}
+	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
+		ed := h.Edge(id)
+		if r.e.g.IsTerminal(ed.Label) {
+			a := px.canonical(instKey, ed.Att[0])
+			b := px.canonical(instKey, ed.Att[1])
+			for q := 0; q < Q; q++ {
+				for _, p := range r.nfa.Next(q, ed.Label) {
+					adj[pk{a, q}] = append(adj[pk{a, q}], pk{b, p})
+				}
+			}
+			return
+		}
+		sk := r.skel[ed.Label]
+		for iq := range sk {
+			i, q := iq/Q, iq%Q
+			for jp, ok := range sk[iq] {
+				if !ok {
+					continue
+				}
+				j, p := jp/Q, jp%Q
+				a := px.canonical(instKey, ed.Att[i])
+				b := px.canonical(instKey, ed.Att[j])
+				adj[pk{a, q}] = append(adj[pk{a, q}], pk{b, p})
+			}
+		}
+	})
+
+	src := pk{px.canonical(px.keyOf(&lu), lu.Node), r.nfa.Start}
+	dstNode := px.canonical(px.keyOf(&lv), lv.Node)
+	if src.n == dstNode && r.nfa.Accept[r.nfa.Start] {
+		return true, nil // empty path
+	}
+	seen := map[pk]bool{src: true}
+	queue := []pk{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x.n == dstNode && r.nfa.Accept[x.q] {
+			return true, nil
+		}
+		for _, y := range adj[x] {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,187 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrepair/internal/core"
+	"graphrepair/internal/hypergraph"
+)
+
+// bruteMatches answers an RPQ on an uncompressed graph by BFS in the
+// explicit product graph.
+func bruteMatches(g *hypergraph.Graph, nfa *NFA, u, v hypergraph.NodeID) bool {
+	type st struct {
+		n hypergraph.NodeID
+		q int
+	}
+	src := st{u, nfa.Start}
+	if u == v && nfa.Accept[nfa.Start] {
+		return true
+	}
+	seen := map[st]bool{src: true}
+	queue := []st{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x.n == v && nfa.Accept[x.q] {
+			return true
+		}
+		for _, id := range g.Incident(x.n) {
+			e := g.Edge(id)
+			if len(e.Att) != 2 || e.Att[0] != x.n {
+				continue
+			}
+			for _, p := range nfa.Next(x.q, e.Label) {
+				y := st{e.Att[1], p}
+				if !seen[y] {
+					seen[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestPathNFAOnChain(t *testing.T) {
+	// a b a b chain; query "a then b".
+	g := hypergraph.New(5)
+	g.AddEdge(1, 1, 2)
+	g.AddEdge(2, 2, 3)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(2, 4, 5)
+	res, err := core.Compress(g, 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpq := e.NewRPQ(PathNFA(1, 2))
+	derived := res.Grammar.MustDerive()
+	for u := int64(1); u <= 5; u++ {
+		for v := int64(1); v <= 5; v++ {
+			got, err := rpq.Matches(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteMatches(derived, PathNFA(1, 2), hypergraph.NodeID(u), hypergraph.NodeID(v))
+			if got != want {
+				t.Fatalf("PathNFA(1,2) %d→%d: got %v want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestStarNFAEquivalentToReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 40, 90, 2)
+	res, err := core.Compress(g, 2, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1|2)* accepts every path: Matches ≡ Reachable.
+	rpq := e.NewRPQ(StarNFA(1, 2))
+	for q := 0; q < 300; q++ {
+		u := 1 + rng.Int63n(e.NumNodes())
+		v := 1 + rng.Int63n(e.NumNodes())
+		got, err := rpq.Matches(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.Reachable(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("star RPQ(%d,%d) = %v, Reachable = %v", u, v, got, want)
+		}
+	}
+}
+
+func TestRPQAgainstBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		n := 15 + rng.Intn(40)
+		g := randomGraph(rng, n, 3*n, 3)
+		res, err := core.Compress(g, 3, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(res.Grammar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		derived := res.Grammar.MustDerive()
+
+		// A random small NFA.
+		nfa := NewNFA(2+rng.Intn(3), 0)
+		for i := 0; i < 6; i++ {
+			nfa.AddTransition(rng.Intn(nfa.States),
+				hypergraph.Label(1+rng.Intn(3)), rng.Intn(nfa.States))
+		}
+		nfa.SetAccept(rng.Intn(nfa.States))
+		rpq := e.NewRPQ(nfa)
+
+		for q := 0; q < 120; q++ {
+			u := 1 + rng.Int63n(e.NumNodes())
+			v := 1 + rng.Int63n(e.NumNodes())
+			got, err := rpq.Matches(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteMatches(derived, nfa, hypergraph.NodeID(u), hypergraph.NodeID(v))
+			if got != want {
+				t.Fatalf("trial %d: RPQ(%d,%d) = %v, want %v", trial, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestRPQLabeledVersionGraph(t *testing.T) {
+	// TTT-like labeled copies: path query 1·2 (row then column move)
+	// must behave identically on every copy.
+	g := hypergraph.New(9 * 8)
+	for c := 0; c < 8; c++ {
+		b := hypergraph.NodeID(9 * c)
+		g.AddEdge(1, b+1, b+2)
+		g.AddEdge(2, b+2, b+3)
+		g.AddEdge(3, b+3, b+4)
+		g.AddEdge(1, b+4, b+5)
+		g.AddEdge(2, b+5, b+6)
+	}
+	res, err := core.Compress(g, 3, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpq := e.NewRPQ(PathNFA(1, 2))
+	derived := res.Grammar.MustDerive()
+	matches := 0
+	for u := int64(1); u <= e.NumNodes(); u++ {
+		for v := int64(1); v <= e.NumNodes(); v++ {
+			got, err := rpq.Matches(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != bruteMatches(derived, PathNFA(1, 2), hypergraph.NodeID(u), hypergraph.NodeID(v)) {
+				t.Fatalf("mismatch at (%d,%d)", u, v)
+			}
+			if got {
+				matches++
+			}
+		}
+	}
+	if matches != 2*8 { // two 1·2 paths per copy
+		t.Fatalf("matches = %d, want 16", matches)
+	}
+}
