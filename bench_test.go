@@ -467,6 +467,23 @@ func BenchmarkDistance(b *testing.B) {
 	}
 }
 
+// BenchmarkCompress measures the compressor hot path (digram counting
+// and replacement) on the medium generator graphs, reporting allocs/op
+// so the allocation budget of internal/core is tracked per PR.
+func BenchmarkCompress(b *testing.B) {
+	for _, name := range []string{"ca-grqc", "rdf-types-ru", "dblp60-70"} {
+		d := dataset(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graphrepair.Compress(d.Graph, d.Labels, grePairOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompressThroughput reports raw compression speed on a
 // mid-size network analog.
 func BenchmarkCompressThroughput(b *testing.B) {

@@ -8,9 +8,14 @@
 //	benchall -exp table5      # one experiment
 //	benchall -scale 4         # closer to paper-scale datasets (slower)
 //	benchall -exp fig13 -copies 4096
+//	benchall -perf -json BENCH_1.json   # machine-readable perf point
 //
 // Output is plain text, one table per experiment, with the paper's
-// qualitative findings attached as notes for comparison.
+// qualitative findings attached as notes for comparison. With -perf
+// the tool instead measures the compressor on the medium generator
+// graphs (compression ratio, wall time, bytes/op, allocs/op) and, via
+// -json, records the result as a trajectory point for regression
+// tracking across PRs.
 package main
 
 import (
@@ -25,19 +30,29 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|"+names())
-		scale   = flag.Int("scale", 16, "dataset size divisor (1 = paper scale)")
-		copies  = flag.Int("copies", 4096, "max copies for fig13")
-		verbose = flag.Bool("v", false, "print progress to stderr")
+		exp       = flag.String("exp", "all", "experiment: all|"+names())
+		scale     = flag.Int("scale", 16, "dataset size divisor (1 = paper scale)")
+		copies    = flag.Int("copies", 4096, "max copies for fig13")
+		verbose   = flag.Bool("v", false, "print progress to stderr")
+		perf      = flag.Bool("perf", false, "run the compressor perf suite instead of the paper experiments")
+		perfScale = flag.Int("perfscale", 64, "dataset size divisor for -perf (64 matches go test -bench BenchmarkCompress)")
+		jsonPath  = flag.String("json", "", "with -perf: also write the report as JSON to this path")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, MaxCopies: *copies, Progress: func(string, ...any) {}}
+	progress := func(string, ...any) {}
 	if *verbose {
-		cfg.Progress = func(format string, args ...any) {
+		progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "benchall: "+format+"\n", args...)
 		}
 	}
+
+	if *perf {
+		runPerf(*perfScale, *jsonPath, progress)
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, MaxCopies: *copies, Progress: progress}
 
 	run := func(name string, f func(bench.Config) (*bench.Table, error)) {
 		start := time.Now()
@@ -69,4 +84,40 @@ func names() string {
 		n = append(n, e.Name)
 	}
 	return strings.Join(n, "|")
+}
+
+// runPerf measures the compressor on the medium generator graphs,
+// prints a summary table, and optionally writes the machine-readable
+// report (the BENCH_<n>.json trajectory format).
+func runPerf(scale int, jsonPath string, progress func(string, ...any)) {
+	rep, err := bench.Perf(bench.PerfDatasets, scale, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: perf: %v\n", err)
+		os.Exit(1)
+	}
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Compressor perf (scale 1/%d, %s %s/%s)", scale, rep.GoVersion, rep.GOOS, rep.GOARCH),
+		Header: []string{"dataset", "nodes", "edges", "bytes", "bpe", "ratio", "ms/op", "KB/op", "allocs/op"},
+	}
+	for _, r := range rep.Results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.Edges),
+			fmt.Sprint(r.EncodedBytes),
+			fmt.Sprintf("%.2f", r.BitsPerEdge),
+			fmt.Sprintf("%.3f", r.Ratio),
+			fmt.Sprintf("%.2f", r.WallMsPerOp),
+			fmt.Sprint(r.BytesPerOp / 1024),
+			fmt.Sprint(r.AllocsPerOp),
+		})
+	}
+	fmt.Println(t.Format())
+	if jsonPath != "" {
+		if err := bench.WritePerfJSON(rep, jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: perf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
 }

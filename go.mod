@@ -1,0 +1,3 @@
+module graphrepair
+
+go 1.24

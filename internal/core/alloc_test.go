@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// warmCompressor builds a compressor mid-stage: state reset, order
+// computed, and every node's candidate pairs counted, so the scratch
+// buffers and arenas are at steady-state capacity.
+func warmCompressor(t *testing.T, g *hypergraph.Graph, terminals hypergraph.Label) *compressor {
+	t.Helper()
+	c := newCompressor(g, terminals, DefaultOptions())
+	c.stageInit()
+	for _, u := range c.ord.Seq {
+		c.countAround(u)
+	}
+	return c
+}
+
+// adjacentPairAt returns the first two edges incident with u.
+func adjacentPairAt(t *testing.T, c *compressor, u hypergraph.NodeID) (hypergraph.EdgeID, hypergraph.EdgeID) {
+	t.Helper()
+	inc := c.g.Incident(u)
+	if len(inc) < 2 {
+		t.Fatalf("node %d has %d incident edges, want >= 2", u, len(inc))
+	}
+	return inc[0], inc[1]
+}
+
+// TestHotPathAllocationBudgets pins the steady-state allocation
+// behavior of the three inner-loop primitives to zero: once the
+// scratch buffers are warm, canonicalizing a pair, grouping a node's
+// incident edges, and evaluating (and rejecting) a candidate pair must
+// not allocate at all.
+func TestHotPathAllocationBudgets(t *testing.T) {
+	// chainGraph alternates two labels, so canonicalizeInto takes the
+	// distinct-label path.
+	c := warmCompressor(t, chainGraph(64), 2)
+	u := hypergraph.NodeID(3) // interior node: one a-edge, one b-edge
+	x, y := adjacentPairAt(t, c, u)
+
+	if n := testing.AllocsPerRun(200, func() {
+		canonicalizeInto(c.g, x, y, &c.co1, &c.co2)
+	}); n != 0 {
+		t.Errorf("canonicalize (distinct labels) allocates %v/op in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c.groupIncident(u)
+	}); n != 0 {
+		t.Errorf("groupIncident allocates %v/op in steady state, want 0", n)
+	}
+	// The pair was already counted during warm-up, so tryCount takes
+	// the full candidate path (canonical form, key hash, used-set
+	// probe) and rejects — the most frequent path in real runs.
+	if di := c.tryCount(u, x, y); di != noDigram {
+		t.Fatal("expected the warmed-up pair to be rejected as already counted")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c.tryCount(u, x, y)
+	}); n != 0 {
+		t.Errorf("tryCount (rejection path) allocates %v/op in steady state, want 0", n)
+	}
+
+	// Single-label path: labels and ranks tie, forcing the flipped
+	// orientation derivation — the pre-optimization worst case.
+	g := hypergraph.New(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(1, hypergraph.NodeID(i), hypergraph.NodeID(i+1))
+	}
+	c2 := warmCompressor(t, g, 1)
+	x2, y2 := adjacentPairAt(t, c2, 2)
+	if n := testing.AllocsPerRun(200, func() {
+		canonicalizeInto(c2.g, x2, y2, &c2.co1, &c2.co2)
+	}); n != 0 {
+		t.Errorf("canonicalize (label tie) allocates %v/op in steady state, want 0", n)
+	}
+}

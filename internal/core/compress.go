@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"graphrepair/internal/grammar"
@@ -15,7 +16,7 @@ import (
 type Options struct {
 	// MaxRank is the maximal rank of a digram (and thus of any
 	// nonterminal); digrams of higher rank are not counted
-	// (Sec. III-B2). Must be >= 1.
+	// (Sec. III-B2). Must be in 1..MaxSupportedRank.
 	MaxRank int
 	// Order is the node order steering occurrence counting
 	// (Sec. III-B1).
@@ -78,32 +79,22 @@ const virtualLabel hypergraph.Label = 0
 // Compress runs gRePair on a simple directed edge-labeled graph whose
 // labels are 1..terminals. The input graph is not modified.
 func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*Result, error) {
-	if opts.MaxRank < 1 {
-		return nil, fmt.Errorf("core: MaxRank %d out of range", opts.MaxRank)
+	if opts.MaxRank < 1 || opts.MaxRank > MaxSupportedRank {
+		return nil, fmt.Errorf("core: MaxRank %d out of range 1..%d", opts.MaxRank, MaxSupportedRank)
 	}
 	for _, id := range g.Edges() {
 		e := g.Edge(id)
 		if e.Label < 1 || e.Label > terminals {
-			return nil, fmt.Errorf("core: edge %d has label %d outside 1..%d", id, e.Label, terminals)
+			return nil, fmt.Errorf("core: edge %d (%s) has label %d outside the terminal alphabet 1..%d",
+				id, describeEdge(e), e.Label, terminals)
 		}
 		if len(e.Att) != 2 {
-			return nil, fmt.Errorf("core: edge %d has rank %d; input must be a simple graph", id, len(e.Att))
+			return nil, fmt.Errorf("core: edge %d (%s) has rank %d; input must be a simple graph of rank-2 edges",
+				id, describeEdge(e), len(e.Att))
 		}
 	}
 
-	c := &compressor{
-		g:     g.Clone(),
-		gram:  grammar.New(terminals, nil),
-		opts:  opts,
-		used:  make(map[int32]map[uint64]struct{}),
-		avail: make(map[hypergraph.NodeID]*availability),
-	}
-	c.gram.Start = c.g
-	c.edgeSet = make(map[uint64]int, c.g.NumEdges())
-	for _, id := range c.g.Edges() {
-		e := c.g.Edge(id)
-		c.edgeSet[hypergraph.EdgeKey(e.Label, e.Att)]++
-	}
+	c := newCompressor(g, terminals, opts)
 
 	// Stage 1: the main replacement loop, iterated to a fixpoint.
 	// The greedy per-node pairing can leave admissible pairs uncounted
@@ -137,24 +128,104 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 	return &Result{Grammar: c.gram, Stats: c.stats, StartNodeMap: remap}, nil
 }
 
+// describeEdge renders an edge's label and attachment for error
+// messages, so callers can locate the offending input edge without
+// knowing internal edge IDs.
+func describeEdge(e *hypergraph.Edge) string {
+	if len(e.Att) == 2 {
+		return fmt.Sprintf("label %d, %d -> %d", e.Label, e.Att[0], e.Att[1])
+	}
+	return fmt.Sprintf("label %d, attachment %v", e.Label, e.Att)
+}
+
+// newCompressor clones the input and allocates the stage state that is
+// reused (never reallocated) across all stages of the run.
+func newCompressor(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) *compressor {
+	c := &compressor{
+		g:       g.Clone(),
+		gram:    grammar.New(terminals, nil),
+		opts:    opts,
+		digrams: make(map[digramKey]int32),
+		ranks:   make(map[hypergraph.Label]int),
+	}
+	c.gram.Start = c.g
+	c.edgeSet = make(map[uint64]int, c.g.NumEdges())
+	for _, id := range c.g.Edges() {
+		e := c.g.Edge(id)
+		c.edgeSet[hypergraph.EdgeKey(e.Label, e.Att)]++
+	}
+	// The compressor only ever adds edges, never nodes, so per-node
+	// state can live in flat arrays indexed by NodeID.
+	c.avail = make([]availability, c.g.MaxNodeID()+1)
+	return c
+}
+
 // availability is the per-node structure backing constant-time pairing
 // of new nonterminal edges (Sec. III-C1): for every effLabel a stack
 // of candidate edges. Entries are popped at most once; dead or blocked
 // candidates are discarded, which keeps the total pairing work linear
-// in the node's degree across all replacements.
+// in the node's degree across all replacements. keys and stacks are
+// parallel (keys sorted ascending); reset truncates both but keeps
+// every stack's backing array for the next stage.
 type availability struct {
+	built  bool
 	keys   []effLabel
-	stacks map[effLabel][]hypergraph.EdgeID
+	stacks [][]hypergraph.EdgeID
 }
 
-func (a *availability) push(l effLabel, id hypergraph.EdgeID) {
-	if _, ok := a.stacks[l]; !ok {
-		i := sort.Search(len(a.keys), func(i int) bool { return a.keys[i] >= l })
-		a.keys = append(a.keys, 0)
-		copy(a.keys[i+1:], a.keys[i:])
-		a.keys[i] = l
+func (a *availability) reset() {
+	a.built = false
+	a.keys = a.keys[:0]
+	for i := range a.stacks {
+		a.stacks[i] = a.stacks[i][:0]
 	}
-	a.stacks[l] = append(a.stacks[l], id)
+	a.stacks = a.stacks[:0]
+}
+
+// addGroup appends a group for key l (which must sort after every
+// existing key) and returns its stack, reviving a truncated slot's
+// backing array when one is available.
+func (a *availability) addGroup(l effLabel) *[]hypergraph.EdgeID {
+	a.keys = append(a.keys, l)
+	if len(a.stacks) < cap(a.stacks) {
+		a.stacks = a.stacks[:len(a.stacks)+1]
+		s := &a.stacks[len(a.stacks)-1]
+		*s = (*s)[:0]
+		return s
+	}
+	a.stacks = append(a.stacks, nil)
+	return &a.stacks[len(a.stacks)-1]
+}
+
+// push makes edge id available under key l, inserting a new group in
+// sorted position if needed.
+func (a *availability) push(l effLabel, id hypergraph.EdgeID) {
+	i := sort.Search(len(a.keys), func(i int) bool { return a.keys[i] >= l })
+	if i < len(a.keys) && a.keys[i] == l {
+		a.stacks[i] = append(a.stacks[i], id)
+		return
+	}
+	var spare []hypergraph.EdgeID
+	if len(a.stacks) < cap(a.stacks) {
+		a.stacks = a.stacks[:len(a.stacks)+1]
+		spare = a.stacks[len(a.stacks)-1][:0]
+	} else {
+		a.stacks = append(a.stacks, nil)
+	}
+	a.keys = append(a.keys, 0)
+	copy(a.keys[i+1:], a.keys[i:])
+	a.keys[i] = l
+	copy(a.stacks[i+1:], a.stacks[i:])
+	a.stacks[i] = append(spare, id)
+}
+
+// incEntry is one incident edge tagged with its effLabel and its
+// position in the incidence list; sorting by (l, idx) groups edges by
+// effLabel while preserving incidence order within each group.
+type incEntry struct {
+	l   effLabel
+	idx int32
+	id  hypergraph.EdgeID
 }
 
 type compressor struct {
@@ -163,27 +234,40 @@ type compressor struct {
 	opts Options
 	ord  *order.Result
 
-	digrams map[digramKey]*digramInfo
-	// digramList holds digrams in first-seen order; map iteration is
-	// never used for anything order-sensitive, keeping runs
-	// deterministic.
-	digramList []*digramInfo
-	pq         *bucketQueue
+	// digrams maps a packed key to its index in digramPool; the pool
+	// doubles as the deterministic first-seen digram order (map
+	// iteration is never used for anything order-sensitive).
+	digrams    map[digramKey]int32
+	digramPool []digramInfo
+	// occPool is the arena behind all occurrence references.
+	occPool []occurrence
+	pq      bucketQueue
 	// occsOf lists the occurrences containing each edge (indexed by
 	// edge ID; grows as nonterminal edges are created).
-	occsOf [][]*occurrence
+	occsOf [][]int32
 	// used holds, per edge, the hashed digram keys the edge already
 	// joined an occurrence of — guaranteeing each digram's occurrence
-	// list is non-overlapping.
-	used map[int32]map[uint64]struct{}
+	// list is non-overlapping. The inner slices are tiny (one entry
+	// per digram the edge joined), so a linear scan beats a set.
+	used [][]uint64
 	// edgeSet counts alive edges by (label, attachment) hash, to veto
 	// duplicate-creating replacements.
 	edgeSet map[uint64]int
-	// avail holds lazily built per-node pairing stacks.
-	avail map[hypergraph.NodeID]*availability
+	// avail holds lazily built per-node pairing stacks, indexed by
+	// NodeID (the node ID space is fixed for the whole run).
+	avail []availability
 
 	ranks map[hypergraph.Label]int // ranks of created nonterminals
 	stats Stats
+
+	// Reused scratch (DESIGN.md §5.6). co1/co2 serve tryCount;
+	// co3/co4 serve replaceDigram, whose canonical form must survive
+	// the nested tryCount calls that pairing triggers.
+	co1, co2, co3, co4 canonOcc
+	incBuf             []incEntry
+	groupStart         []int32
+	liveBuf            []int32
+	attBuf, remBuf     []hypergraph.NodeID
 }
 
 // runToFixpoint repeats runStage until a pass creates no further
@@ -199,62 +283,121 @@ func (c *compressor) runToFixpoint() {
 	}
 }
 
-// runStage performs one full run of steps 2–7 of the algorithm:
-// count occurrences along the node order, then repeatedly replace the
-// most frequent digram until no digram has two live occurrences.
-func (c *compressor) runStage() {
-	c.digrams = make(map[digramKey]*digramInfo)
-	c.digramList = c.digramList[:0]
-	c.pq = newBucketQueue(c.g.NumEdges())
-	c.occsOf = make([][]*occurrence, c.g.MaxEdgeID())
-	c.used = make(map[int32]map[uint64]struct{})
-	c.avail = make(map[hypergraph.NodeID]*availability)
-	if c.ranks == nil {
-		c.ranks = make(map[hypergraph.Label]int)
+// growNested extends a slice-of-slices to n outer entries, reviving
+// the backing arrays of previously truncated slots.
+func growNested[T any](s [][]T, n int) [][]T {
+	for len(s) < n {
+		if len(s) < cap(s) {
+			s = s[:len(s)+1]
+			s[len(s)-1] = s[len(s)-1][:0]
+		} else {
+			s = append(s, nil)
+		}
+	}
+	return s
+}
+
+// stageInit resets every piece of stage state for a fresh occurrence
+// count, reusing all arenas and scratch from previous stages, and
+// computes the node order.
+func (c *compressor) stageInit() {
+	clear(c.digrams)
+	c.digramPool = c.digramPool[:0]
+	c.occPool = c.occPool[:0]
+	c.pq.reset(c.g.NumEdges())
+	n := int(c.g.MaxEdgeID())
+	c.occsOf = growNested(c.occsOf, n)
+	for i := range c.occsOf {
+		c.occsOf[i] = c.occsOf[i][:0]
+	}
+	c.used = growNested(c.used, n)
+	for i := range c.used {
+		c.used[i] = c.used[i][:0]
+	}
+	for i := range c.avail {
+		c.avail[i].reset()
 	}
 
 	c.ord = order.Compute(c.g, c.opts.Order, c.opts.Seed)
 	if c.opts.Order == order.FP && c.stats.FPClasses == 0 {
 		c.stats.FPClasses = c.ord.Classes
 	}
+}
+
+// runStage performs one full run of steps 2–7 of the algorithm:
+// count occurrences along the node order, then repeatedly replace the
+// most frequent digram until no digram has two live occurrences.
+func (c *compressor) runStage() {
+	c.stageInit()
 
 	// Step 2: initial occurrence counting in ω order.
 	for _, u := range c.ord.Seq {
 		c.countAround(u)
 	}
-	for _, d := range c.digramList {
-		c.pq.update(d)
+	for di := range c.digramPool {
+		c.pq.update(c.digramPool, int32(di))
 	}
 
 	// Steps 3–7.
 	for {
-		d := c.pq.popMax()
-		if d == nil {
+		di := c.pq.popMax(c.digramPool)
+		if di == noDigram {
 			return
 		}
-		c.replaceDigram(d)
+		c.replaceDigram(di)
 	}
+}
+
+// groupIncident fills incBuf with (effLabel, EdgeID) entries for the
+// alive edges incident with v, sorted by effLabel with incidence
+// order preserved inside each group, and records the group boundaries
+// in groupStart (group i spans incBuf[groupStart[i]:groupStart[i+1]]).
+func (c *compressor) groupIncident(v hypergraph.NodeID) {
+	buf := c.incBuf[:0]
+	i := int32(0)
+	for _, id := range c.g.Incident(v) {
+		buf = append(buf, incEntry{l: makeEffLabel(c.g.Label(id), c.g.AttPos(id, v)), idx: i, id: id})
+		i++
+	}
+	slices.SortFunc(buf, func(a, b incEntry) int {
+		if a.l != b.l {
+			if a.l < b.l {
+				return -1
+			}
+			return 1
+		}
+		return int(a.idx - b.idx)
+	})
+	c.incBuf = buf
+	gs := append(c.groupStart[:0], 0)
+	for k := 1; k < len(buf); k++ {
+		if buf[k].l != buf[k-1].l {
+			gs = append(gs, int32(k))
+		}
+	}
+	c.groupStart = append(gs, int32(len(buf)))
 }
 
 // countAround enumerates O(deg) candidate pairs centered at u: the
 // incident edges are grouped by effLabel, and groups are zipped
 // pairwise (Sec. III-C1 "occurrence lists").
 func (c *compressor) countAround(u hypergraph.NodeID) {
-	keys, groups := groupIncident(c.g, u)
-	for i, ki := range keys {
-		gi := groups[ki]
+	c.groupIncident(u)
+	gs := c.groupStart
+	for i := 0; i+1 < len(gs); i++ {
+		s0, e0 := gs[i], gs[i+1]
 		// Same-group pairs: consecutive edges.
-		for m := 0; m+1 < len(gi); m += 2 {
-			c.tryCount(u, gi[m], gi[m+1])
+		for m := s0; m+1 < e0; m += 2 {
+			c.tryCount(u, c.incBuf[m].id, c.incBuf[m+1].id)
 		}
-		for j := i + 1; j < len(keys); j++ {
-			gj := groups[keys[j]]
-			n := len(gi)
-			if len(gj) < n {
-				n = len(gj)
+		for j := i + 1; j+1 < len(gs); j++ {
+			s1, e1 := gs[j], gs[j+1]
+			n := e0 - s0
+			if e1-s1 < n {
+				n = e1 - s1
 			}
-			for m := 0; m < n; m++ {
-				c.tryCount(u, gi[m], gj[m])
+			for m := int32(0); m < n; m++ {
+				c.tryCount(u, c.incBuf[s0+m].id, c.incBuf[s1+m].id)
 			}
 		}
 	}
@@ -263,106 +406,117 @@ func (c *compressor) countAround(u hypergraph.NodeID) {
 // tryCount registers {x, y} as an occurrence of its digram if it is
 // admissible: rank within bounds, not double-counted at another shared
 // node, and neither edge already in an occurrence of the same digram.
-// It returns the digram the occurrence was added to, or nil.
-func (c *compressor) tryCount(u hypergraph.NodeID, x, y hypergraph.EdgeID) *digramInfo {
+// It returns the pool index of the digram the occurrence was added
+// to, or noDigram.
+func (c *compressor) tryCount(u hypergraph.NodeID, x, y hypergraph.EdgeID) int32 {
 	if x == y {
-		return nil
+		return noDigram
 	}
-	co := canonicalize(c.g, x, y)
+	co := canonicalizeInto(c.g, x, y, &c.co1, &c.co2)
 	r := co.rank()
 	if r < 1 || r > c.opts.MaxRank {
-		return nil
+		return noDigram
 	}
 	// Pairs sharing several nodes are counted only at the ω-smallest
 	// shared node, so the same pair is never registered twice.
 	if len(co.shared) > 1 {
 		for _, s := range co.shared {
 			if c.ord.Pos[s] < c.ord.Pos[u] {
-				return nil
+				return noDigram
 			}
 		}
 	}
-	h := keyHash(co.key)
+	h := co.key.hash()
 	if c.keyUsed(x, h) || c.keyUsed(y, h) {
-		return nil
+		return noDigram
 	}
 
-	d := c.digrams[co.key]
-	if d == nil {
-		d = &digramInfo{key: co.key, queuedAt: -1}
-		c.digrams[co.key] = d
-		c.digramList = append(c.digramList, d)
+	di, ok := c.digrams[co.key]
+	if !ok {
+		di = int32(len(c.digramPool))
+		c.digramPool = appendDigram(c.digramPool, co.key)
+		c.digrams[co.key] = di
 	}
+	d := &c.digramPool[di]
 	if d.retired {
-		return nil
+		return noDigram
 	}
-	occ := &occurrence{e1: int32(x), e2: int32(y), dig: d}
-	d.occs = append(d.occs, occ)
+	oi := int32(len(c.occPool))
+	c.occPool = append(c.occPool, occurrence{e1: int32(x), e2: int32(y), dig: di})
+	d.occs = append(d.occs, oi)
 	d.count++
-	c.addOcc(x, occ)
-	c.addOcc(y, occ)
+	c.addOcc(x, oi)
+	c.addOcc(y, oi)
 	c.markUsed(x, h)
 	c.markUsed(y, h)
-	return d
+	return di
 }
 
-func (c *compressor) addOcc(e hypergraph.EdgeID, o *occurrence) {
-	for int(e) >= len(c.occsOf) {
-		c.occsOf = append(c.occsOf, nil)
-	}
-	c.occsOf[e] = append(c.occsOf[e], o)
+func (c *compressor) addOcc(e hypergraph.EdgeID, oi int32) {
+	c.occsOf[e] = append(c.occsOf[e], oi)
 }
 
 func (c *compressor) keyUsed(e hypergraph.EdgeID, h uint64) bool {
-	s := c.used[int32(e)]
-	if s == nil {
-		return false
+	for _, x := range c.used[e] {
+		if x == h {
+			return true
+		}
 	}
-	_, ok := s[h]
-	return ok
+	return false
 }
 
 func (c *compressor) markUsed(e hypergraph.EdgeID, h uint64) {
-	s := c.used[int32(e)]
-	if s == nil {
-		s = make(map[uint64]struct{}, 4)
-		c.used[int32(e)] = s
-	}
-	s[h] = struct{}{}
+	c.used[e] = append(c.used[e], h)
+}
+
+// growEdgeState extends the per-edge tables after a new edge was
+// added to the graph.
+func (c *compressor) growEdgeState() {
+	n := int(c.g.MaxEdgeID())
+	c.occsOf = growNested(c.occsOf, n)
+	c.used = growNested(c.used, n)
 }
 
 // replaceDigram performs steps 4–6 for the selected digram: creates a
 // fresh nonterminal, replaces every live occurrence, invalidates
 // overlapping occurrences of other digrams, and pairs each new
 // nonterminal edge with available neighboring edges.
-func (c *compressor) replaceDigram(d *digramInfo) {
-	d.retired = true
-	var live []*occurrence
-	for _, o := range d.occs {
+func (c *compressor) replaceDigram(di int32) {
+	// Copy the key out: the pool may grow (invalidating pointers)
+	// when pairing discovers new digrams below.
+	c.digramPool[di].retired = true
+	key := c.digramPool[di].key
+
+	live := c.liveBuf[:0]
+	for _, oi := range c.digramPool[di].occs {
+		o := &c.occPool[oi]
 		if !o.dead && c.g.HasEdge(hypergraph.EdgeID(o.e1)) && c.g.HasEdge(hypergraph.EdgeID(o.e2)) {
-			live = append(live, o)
+			live = append(live, oi)
 		}
 	}
+	c.liveBuf = live
 	if len(live) < 2 {
 		return
 	}
 
 	var nt hypergraph.Label
-	for _, o := range live {
+	for _, oi := range live {
 		// Earlier replacements in this loop never consume edges of
 		// later occurrences (lists are non-overlapping), but guard
 		// against it anyway.
-		if o.dead || !c.g.HasEdge(hypergraph.EdgeID(o.e1)) || !c.g.HasEdge(hypergraph.EdgeID(o.e2)) {
+		e1 := hypergraph.EdgeID(c.occPool[oi].e1)
+		e2 := hypergraph.EdgeID(c.occPool[oi].e2)
+		if c.occPool[oi].dead || !c.g.HasEdge(e1) || !c.g.HasEdge(e2) {
 			continue
 		}
-		co := canonicalize(c.g, hypergraph.EdgeID(o.e1), hypergraph.EdgeID(o.e2))
-		if co.key != d.key {
+		co := canonicalizeInto(c.g, e1, e2, &c.co3, &c.co4)
+		if co.key != key {
 			continue // defensive: context drifted (should not happen)
 		}
-		att := co.attachmentNodes()
+		c.attBuf = co.appendAttachment(c.attBuf[:0])
 		if nt == 0 {
 			// First admissible occurrence: materialize the rule.
-			nt = c.gram.AddRule(ruleGraph(c.g, &co))
+			nt = c.gram.AddRule(ruleGraph(c.g, co))
 			c.ranks[nt] = co.rank()
 			c.stats.Rounds++
 		}
@@ -371,55 +525,62 @@ func (c *compressor) replaceDigram(d *digramInfo) {
 		// would duplicate an existing (label, source, target) edge is
 		// skipped. Edges of other ranks live in incidence matrices
 		// (one column per edge) where parallel edges are fine.
-		ek := hypergraph.EdgeKey(nt, att)
-		if len(att) == 2 && c.edgeSet[ek] > 0 {
+		ek := hypergraph.EdgeKey(nt, c.attBuf)
+		if len(c.attBuf) == 2 && c.edgeSet[ek] > 0 {
 			c.stats.SkippedDuplicates++
 			continue
 		}
-		c.replaceOccurrence(o, &co, nt, ek)
+		c.replaceOccurrence(oi, co, nt, ek)
 	}
 }
 
 // replaceOccurrence removes the two occurrence edges and the internal
 // nodes, inserts the nonterminal edge, and updates occurrence lists.
-func (c *compressor) replaceOccurrence(o *occurrence, co *canonOcc, nt hypergraph.Label, ek uint64) {
+// The caller must have filled attBuf with co's attachment nodes.
+func (c *compressor) replaceOccurrence(oi int32, co *canonOcc, nt hypergraph.Label, ek uint64) {
 	g := c.g
-	for _, e := range []hypergraph.EdgeID{hypergraph.EdgeID(o.e1), hypergraph.EdgeID(o.e2)} {
+	o := c.occPool[oi]
+	for _, e := range [2]hypergraph.EdgeID{hypergraph.EdgeID(o.e1), hypergraph.EdgeID(o.e2)} {
 		// Invalidate every other occurrence using e.
-		for _, other := range c.occsOf[e] {
-			if other == o || other.dead {
+		for _, otherI := range c.occsOf[e] {
+			if otherI == oi {
+				continue
+			}
+			other := &c.occPool[otherI]
+			if other.dead {
 				continue
 			}
 			other.dead = true
-			other.dig.count--
-			c.pq.update(other.dig)
+			c.digramPool[other.dig].count--
+			c.pq.update(c.digramPool, other.dig)
 		}
-		c.occsOf[e] = nil
+		c.occsOf[e] = c.occsOf[e][:0]
 		c.edgeSet[hypergraph.EdgeKey(g.Label(e), g.Att(e))]--
 		g.RemoveEdge(e)
 	}
-	o.dead = true
-	o.dig.count--
+	c.occPool[oi].dead = true
+	c.digramPool[o.dig].count--
 
-	for _, v := range co.removalNodes() {
+	c.remBuf = co.appendRemoval(c.remBuf[:0])
+	for _, v := range c.remBuf {
 		g.RemoveNode(v)
-		delete(c.avail, v)
+		c.avail[v].reset()
 	}
 
-	att := co.attachmentNodes()
-	id := g.AddEdge(nt, att...)
+	id := g.AddEdge(nt, c.attBuf...)
+	c.growEdgeState()
 	c.edgeSet[ek]++
 	c.stats.Replacements++
 
 	// Step 6: pair the new edge with one available neighbor per
 	// effLabel group around each attachment node.
-	for _, v := range att {
+	for _, v := range c.attBuf {
 		c.pairNewEdge(id, v)
 	}
 	// Make the new edge available for future pairings.
-	for pos, v := range att {
-		if a := c.avail[v]; a != nil {
-			a.push(makeEffLabel(nt, pos), id)
+	for pos, v := range c.attBuf {
+		if c.avail[v].built {
+			c.avail[v].push(makeEffLabel(nt, pos), id)
 		}
 	}
 }
@@ -429,36 +590,37 @@ func (c *compressor) replaceOccurrence(o *occurrence, co *canonOcc, nt hypergrap
 // stacks (each edge is offered at most once per node and group, which
 // bounds total pairing work by the node degree).
 func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
-	a := c.avail[v]
-	if a == nil {
-		a = &availability{stacks: make(map[effLabel][]hypergraph.EdgeID)}
-		keys, groups := groupIncident(c.g, v)
-		for _, k := range keys {
-			grp := groups[k]
-			// Reverse so that pop order follows incidence order.
-			for i, j := 0, len(grp)-1; i < j; i, j = i+1, j-1 {
-				grp[i], grp[j] = grp[j], grp[i]
+	a := &c.avail[v]
+	if !a.built {
+		a.built = true
+		c.groupIncident(v)
+		gs := c.groupStart
+		for gi := 0; gi+1 < len(gs); gi++ {
+			s, e := gs[gi], gs[gi+1]
+			if s == e {
+				continue
 			}
-			a.keys = append(a.keys, k)
-			a.stacks[k] = grp
+			st := a.addGroup(c.incBuf[s].l)
+			// Reverse so that pop order follows incidence order.
+			for m := e - 1; m >= s; m-- {
+				*st = append(*st, c.incBuf[m].id)
+			}
 		}
-		c.avail[v] = a
 	}
 	for ki := 0; ki < len(a.keys); ki++ {
-		k := a.keys[ki]
-		stack := a.stacks[k]
+		stack := a.stacks[ki]
 		for len(stack) > 0 {
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if f == id || !c.g.HasEdge(f) {
 				continue
 			}
-			if d := c.tryCount(v, id, f); d != nil {
-				c.pq.update(d)
+			if di := c.tryCount(v, id, f); di != noDigram {
+				c.pq.update(c.digramPool, di)
 				break
 			}
 		}
-		a.stacks[k] = stack
+		a.stacks[ki] = stack
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"graphrepair/internal/hypergraph"
@@ -195,6 +196,39 @@ func TestRejectsBadInput(t *testing.T) {
 	}
 	if _, err := Compress(hypergraph.New(1), 1, Options{MaxRank: 0}); err == nil {
 		t.Fatal("expected MaxRank error")
+	}
+	if _, err := Compress(hypergraph.New(1), 1, Options{MaxRank: MaxSupportedRank + 1}); err == nil {
+		t.Fatal("expected MaxRank upper-bound error")
+	}
+}
+
+// TestBadInputErrorContext asserts validation errors carry the label
+// and attachment of the offending edge, not just an internal edge ID
+// the caller has no way to resolve.
+func TestBadInputErrorContext(t *testing.T) {
+	g := hypergraph.New(4)
+	g.AddEdge(2, 1, 2)
+	g.AddEdge(7, 3, 4) // label out of range
+	_, err := Compress(g, 2, DefaultOptions())
+	if err == nil {
+		t.Fatal("expected label range error")
+	}
+	for _, want := range []string{"label 7", "3 -> 4", "1..2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("label error %q missing context %q", err, want)
+		}
+	}
+
+	h := hypergraph.New(4)
+	h.AddEdge(1, 2, 3, 4) // hyperedge input
+	_, err = Compress(h, 2, DefaultOptions())
+	if err == nil {
+		t.Fatal("expected rank error")
+	}
+	for _, want := range []string{"label 1", "[2 3 4]", "rank 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("rank error %q missing context %q", err, want)
+		}
 	}
 }
 

@@ -6,24 +6,105 @@
 // rules that do not contribute to compression.
 //
 // This is the paper's primary contribution; every design deviation
-// from the paper's description is documented in DESIGN.md §5.
+// from the paper's description is documented in DESIGN.md §5. The
+// hot-path data layout (packed digram keys, arena-backed occurrence
+// and digram pools, reused canonical-form scratch) is documented in
+// DESIGN.md §5.6.
 package core
 
 import (
-	"sort"
-
 	"graphrepair/internal/hypergraph"
 )
+
+// MaxSupportedRank bounds Options.MaxRank: the packed digram key
+// stores the attachment-overlap pattern in a fixed-size array of
+// MaxSupportedRank entries and the external flags of up to
+// 2*MaxSupportedRank local nodes in one 32-bit word. The paper never
+// uses maxRank above 8 (Table IV), so the bound is not a practical
+// restriction.
+const MaxSupportedRank = 16
 
 // digramKey canonically identifies a digram (Def. 2): the labels and
 // ranks of the two edges, the attachment-overlap pattern, and the
 // external-node flags. Occurrences with equal keys are occurrences of
 // the same digram, and the key fully determines the digram hypergraph
 // (the right-hand side of the rule introduced for it).
-type digramKey string
+//
+// The key is a fixed-size comparable struct so it can be used as a map
+// key without allocating (DESIGN.md §5.6): pat is zero-padded beyond
+// rb and ext keeps bit i for local node i, which makes struct equality
+// coincide with equality of the byte-string key used before PR 1.
+type digramKey struct {
+	la, lb hypergraph.Label
+	ra, rb uint8 // ranks of the two edges
+	n      uint8 // number of local nodes
+	pat    [MaxSupportedRank]uint8
+	ext    uint32
+}
+
+// keyLess reproduces the byte-lexicographic order of the pre-PR-1
+// string key for two keys with equal labels (the only case the
+// canonical-orientation tie break compares keys): rank of the first
+// edge, rank of the second, overlap pattern, then external flags in
+// local-node order.
+func keyLess(x, y *digramKey) bool {
+	if x.ra != y.ra {
+		return x.ra < y.ra
+	}
+	if x.rb != y.rb {
+		return x.rb < y.rb
+	}
+	for i := 0; i < int(x.rb); i++ {
+		if x.pat[i] != y.pat[i] {
+			return x.pat[i] < y.pat[i]
+		}
+	}
+	if x.ext != y.ext {
+		// First differing local index decides; bit i is local i, so the
+		// lowest set bit of the xor is the first difference.
+		d := x.ext ^ y.ext
+		return x.ext&(d&-d) == 0
+	}
+	return false
+}
+
+// hash is the 64-bit FNV-1a hash of the key, fed the exact byte
+// sequence of the pre-PR-1 string key (labels little-endian, ranks,
+// pattern, 0xFF separator, external flags) so that the per-edge
+// used-key sets collide identically to the pre-optimization compressor
+// and grammar outputs stay byte-for-byte reproducible.
+func (k *digramKey) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	la, lb := uint32(k.la), uint32(k.lb)
+	h = (h ^ uint64(byte(la))) * prime64
+	h = (h ^ uint64(byte(la>>8))) * prime64
+	h = (h ^ uint64(byte(la>>16))) * prime64
+	h = (h ^ uint64(byte(la>>24))) * prime64
+	h = (h ^ uint64(byte(lb))) * prime64
+	h = (h ^ uint64(byte(lb>>8))) * prime64
+	h = (h ^ uint64(byte(lb>>16))) * prime64
+	h = (h ^ uint64(byte(lb>>24))) * prime64
+	h = (h ^ uint64(k.ra)) * prime64
+	h = (h ^ uint64(k.rb)) * prime64
+	for i := 0; i < int(k.rb); i++ {
+		h = (h ^ uint64(k.pat[i])) * prime64
+	}
+	h = (h ^ 0xFF) * prime64
+	for i := 0; i < int(k.n); i++ {
+		h = (h ^ uint64(k.ext>>uint(i)&1)) * prime64
+	}
+	return h
+}
 
 // canonOcc is the canonical form of one occurrence {e1, e2}: the
-// oriented edge pair, the local node table, and the digram key.
+// oriented edge pair, the local node table, and the digram key. The
+// slices are scratch owned by the compressor and reused across calls
+// (DESIGN.md §5.6); a canonOcc is only valid until the next
+// build/derive into the same struct.
 type canonOcc struct {
 	a, b   hypergraph.EdgeID
 	locals []hypergraph.NodeID // local index → graph node
@@ -35,61 +116,65 @@ type canonOcc struct {
 // rank returns the digram's rank (number of external nodes).
 func (c *canonOcc) rank() int { return len(c.extLoc) }
 
-// attachmentNodes returns the graph nodes a replacing nonterminal edge
-// attaches to, in external order.
-func (c *canonOcc) attachmentNodes() []hypergraph.NodeID {
-	out := make([]hypergraph.NodeID, len(c.extLoc))
-	for i, l := range c.extLoc {
-		out[i] = c.locals[l]
+// appendAttachment appends the graph nodes a replacing nonterminal
+// edge attaches to, in external order.
+func (c *canonOcc) appendAttachment(dst []hypergraph.NodeID) []hypergraph.NodeID {
+	for _, l := range c.extLoc {
+		dst = append(dst, c.locals[l])
 	}
-	return out
+	return dst
 }
 
-// removalNodes returns the graph nodes internal to the occurrence
+// appendRemoval appends the graph nodes internal to the occurrence
 // (to be deleted on replacement).
-func (c *canonOcc) removalNodes() []hypergraph.NodeID {
-	var out []hypergraph.NodeID
-	ext := make(map[int]bool, len(c.extLoc))
-	for _, l := range c.extLoc {
-		ext[l] = true
-	}
+func (c *canonOcc) appendRemoval(dst []hypergraph.NodeID) []hypergraph.NodeID {
 	for i, v := range c.locals {
-		if !ext[i] {
-			out = append(out, v)
+		if c.key.ext&(1<<uint(i)) == 0 {
+			dst = append(dst, v)
 		}
 	}
-	return out
+	return dst
 }
 
-// buildOriented computes the canonical form for the ordered pair
-// (a, b). Externality follows Def. 3(3): a node of the occurrence is
-// external iff it is incident with an edge other than a and b.
-func buildOriented(g *hypergraph.Graph, a, b hypergraph.EdgeID) canonOcc {
-	attA, attB := g.Att(a), g.Att(b)
-	locals := make([]hypergraph.NodeID, 0, len(attA)+len(attB))
-	idx := make(map[hypergraph.NodeID]int, len(attA)+len(attB))
-	add := func(v hypergraph.NodeID) int {
-		if i, ok := idx[v]; ok {
+// localIndex returns v's position in the local node table, or -1.
+// Tables hold at most 2*MaxSupportedRank entries, so a linear scan
+// beats any map.
+func localIndex(locals []hypergraph.NodeID, v hypergraph.NodeID) int {
+	for i, u := range locals {
+		if u == v {
 			return i
 		}
-		idx[v] = len(locals)
-		locals = append(locals, v)
-		return len(locals) - 1
 	}
-	for _, v := range attA {
-		add(v)
-	}
-	pat := make([]int, len(attB))
-	var shared []hypergraph.NodeID
-	for i, v := range attB {
-		if j, ok := idx[v]; ok && j < len(attA) {
-			shared = append(shared, v)
-		}
-		pat[i] = add(v)
-	}
+	return -1
+}
 
-	var extLoc []int
-	extFlags := make([]byte, len(locals))
+// buildOrientedInto computes the canonical form for the ordered pair
+// (a, b) into co, reusing co's scratch slices. Externality follows
+// Def. 3(3): a node of the occurrence is external iff it is incident
+// with an edge other than a and b.
+func buildOrientedInto(g *hypergraph.Graph, a, b hypergraph.EdgeID, co *canonOcc) {
+	attA, attB := g.Att(a), g.Att(b)
+	co.a, co.b = a, b
+	co.shared = co.shared[:0]
+	co.extLoc = co.extLoc[:0]
+	// Attachment nodes of one edge are pairwise distinct, so all of
+	// a's go in directly.
+	locals := append(co.locals[:0], attA...)
+	k := &co.key
+	*k = digramKey{la: g.Label(a), lb: g.Label(b), ra: uint8(len(attA)), rb: uint8(len(attB))}
+	for i, v := range attB {
+		j := localIndex(locals, v)
+		if j >= 0 && j < len(attA) {
+			co.shared = append(co.shared, v)
+		}
+		if j < 0 {
+			j = len(locals)
+			locals = append(locals, v)
+		}
+		k.pat[i] = uint8(j)
+	}
+	co.locals = locals
+	k.n = uint8(len(locals))
 	for i, v := range locals {
 		// v is attached to a, to b, or to both; it is external iff it
 		// has more alive incident edges than that.
@@ -101,72 +186,106 @@ func buildOriented(g *hypergraph.Graph, a, b hypergraph.EdgeID) canonOcc {
 			inPair++
 		}
 		if g.Degree(v) > inPair {
-			extFlags[i] = 1
-			extLoc = append(extLoc, i)
+			k.ext |= 1 << uint(i)
+			co.extLoc = append(co.extLoc, i)
 		}
 	}
-
-	// Key: labels, ranks, overlap pattern of b, external flags.
-	kb := make([]byte, 0, 8+len(pat)+len(extFlags))
-	put32 := func(x uint32) {
-		kb = append(kb, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
-	}
-	put32(uint32(g.Label(a)))
-	put32(uint32(g.Label(b)))
-	kb = append(kb, byte(len(attA)), byte(len(attB)))
-	for _, p := range pat {
-		kb = append(kb, byte(p))
-	}
-	kb = append(kb, 0xFF)
-	kb = append(kb, extFlags...)
-
-	return canonOcc{a: a, b: b, locals: locals, extLoc: extLoc,
-		shared: shared, key: digramKey(kb)}
 }
 
-// canonicalize computes the canonical occurrence for an unordered edge
-// pair: the edge with the smaller label goes first; on equal labels
-// the orientation with the lexicographically smaller key wins, which
-// makes the canonical form independent of the order the pair was
-// discovered in.
-func canonicalize(g *hypergraph.Graph, e1, e2 hypergraph.EdgeID) canonOcc {
+// deriveFlippedInto fills dst with the canonical form of the reversed
+// orientation (src.b, src.a) without re-querying the graph for
+// externality: both orientations see the same node set, so external
+// flags carry over through the local-index permutation. This is the
+// label-tie fast path — the pre-PR-1 code ran the full buildOriented
+// (including per-node degree queries) twice whenever labels tied.
+func deriveFlippedInto(g *hypergraph.Graph, src, dst *canonOcc) {
+	attA, attB := g.Att(src.a), g.Att(src.b)
+	dst.a, dst.b = src.b, src.a
+	dst.shared = dst.shared[:0]
+	dst.extLoc = dst.extLoc[:0]
+	locals := append(dst.locals[:0], attB...)
+	k := &dst.key
+	*k = digramKey{la: src.key.lb, lb: src.key.la, ra: src.key.rb, rb: src.key.ra}
+	for i, v := range attA {
+		j := localIndex(locals, v)
+		if j >= 0 && j < len(attB) {
+			dst.shared = append(dst.shared, v)
+		}
+		if j < 0 {
+			j = len(locals)
+			locals = append(locals, v)
+		}
+		k.pat[i] = uint8(j)
+	}
+	dst.locals = locals
+	k.n = uint8(len(locals))
+	for i, v := range locals {
+		si := localIndex(src.locals, v)
+		if src.key.ext&(1<<uint(si)) != 0 {
+			k.ext |= 1 << uint(i)
+			dst.extLoc = append(dst.extLoc, i)
+		}
+	}
+}
+
+// canonicalizeInto computes the canonical occurrence for an unordered
+// edge pair into the caller-owned scratch structs co and tmp,
+// returning whichever holds the canonical form: the edge with the
+// smaller label goes first; on equal labels the orientation with the
+// lexicographically smaller key wins, which makes the canonical form
+// independent of the order the pair was discovered in.
+func canonicalizeInto(g *hypergraph.Graph, e1, e2 hypergraph.EdgeID, co, tmp *canonOcc) *canonOcc {
 	l1, l2 := g.Label(e1), g.Label(e2)
 	switch {
 	case l1 < l2:
-		return buildOriented(g, e1, e2)
+		buildOrientedInto(g, e1, e2, co)
+		return co
 	case l2 < l1:
-		return buildOriented(g, e2, e1)
-	default:
-		c1 := buildOriented(g, e1, e2)
-		c2 := buildOriented(g, e2, e1)
-		if c1.key != c2.key {
-			if c1.key < c2.key {
-				return c1
-			}
-			return c2
-		}
-		// Equal keys: both orientations describe the same digram, but
-		// the local node order (and hence the attachment order of the
-		// replacing edge) may differ; break the tie on the local node
-		// sequence so the canonical form does not depend on argument
-		// order.
-		for i := range c1.locals {
-			if c1.locals[i] != c2.locals[i] {
-				if c1.locals[i] < c2.locals[i] {
-					return c1
-				}
-				return c2
-			}
-		}
-		return c1
+		buildOrientedInto(g, e2, e1, co)
+		return co
 	}
+	// Labels tie. The key compares edge ranks right after the labels,
+	// so when the ranks differ the orientation putting the
+	// smaller-rank edge first wins without materializing the other.
+	r1, r2 := g.Edge(e1).Rank(), g.Edge(e2).Rank()
+	if r1 < r2 {
+		buildOrientedInto(g, e1, e2, co)
+		return co
+	}
+	if r2 < r1 {
+		buildOrientedInto(g, e2, e1, co)
+		return co
+	}
+	buildOrientedInto(g, e1, e2, co)
+	deriveFlippedInto(g, co, tmp)
+	if co.key != tmp.key {
+		if keyLess(&co.key, &tmp.key) {
+			return co
+		}
+		return tmp
+	}
+	// Equal keys: both orientations describe the same digram, but the
+	// local node order (and hence the attachment order of the
+	// replacing edge) may differ; break the tie on the local node
+	// sequence so the canonical form does not depend on argument
+	// order.
+	for i := range co.locals {
+		if co.locals[i] != tmp.locals[i] {
+			if co.locals[i] < tmp.locals[i] {
+				return co
+			}
+			return tmp
+		}
+	}
+	return co
 }
 
 // ruleGraph materializes the digram hypergraph for a canonical
 // occurrence: nodes 1..len(locals) standing for the local nodes,
 // the two edges with their labels, and the external sequence in
 // ascending local order (so external-node IDs are ascending, as the
-// encoder requires).
+// encoder requires). This runs once per created rule, not per
+// candidate, so it may allocate.
 func ruleGraph(g *hypergraph.Graph, c *canonOcc) *hypergraph.Graph {
 	rhs := hypergraph.New(len(c.locals))
 	node := func(v hypergraph.NodeID) hypergraph.NodeID {
@@ -201,34 +320,4 @@ type effLabel uint64
 
 func makeEffLabel(label hypergraph.Label, pos int) effLabel {
 	return effLabel(uint64(uint32(label))<<8 | uint64(uint8(pos)))
-}
-
-// groupIncident groups the alive edges incident with v by effLabel,
-// returning the groups in ascending effLabel order (deterministic).
-func groupIncident(g *hypergraph.Graph, v hypergraph.NodeID) (keys []effLabel, groups map[effLabel][]hypergraph.EdgeID) {
-	groups = make(map[effLabel][]hypergraph.EdgeID)
-	for _, id := range g.Incident(v) {
-		l := makeEffLabel(g.Label(id), g.AttPos(id, v))
-		if _, ok := groups[l]; !ok {
-			keys = append(keys, l)
-		}
-		groups[l] = append(groups[l], id)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys, groups
-}
-
-// keyHash is a 64-bit FNV-1a hash of a digram key, used for the
-// per-edge used-key sets (false positives only block a candidate
-// pairing, never affect correctness).
-func keyHash(k digramKey) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(k); i++ {
-		h = (h ^ uint64(k[i])) * prime64
-	}
-	return h
 }

@@ -8,6 +8,13 @@ import (
 	"graphrepair/internal/hypergraph"
 )
 
+// canonTest is the test-side convenience wrapper over the scratch-based
+// canonicalizeInto.
+func canonTest(g *hypergraph.Graph, e1, e2 hypergraph.EdgeID) *canonOcc {
+	var a, b canonOcc
+	return canonicalizeInto(g, e1, e2, &a, &b)
+}
+
 // randomAdjacentPair builds a random graph and returns a pair of edges
 // sharing at least one node (or ok=false).
 func randomAdjacentPair(rng *rand.Rand) (*hypergraph.Graph, hypergraph.EdgeID, hypergraph.EdgeID, bool) {
@@ -55,17 +62,58 @@ func TestCanonicalizeSymmetricProperty(t *testing.T) {
 		if !ok {
 			return true
 		}
-		a := canonicalize(g, e1, e2)
-		b := canonicalize(g, e2, e1)
+		a := canonTest(g, e1, e2)
+		an := a.appendAttachment(nil)
+		b := canonTest(g, e2, e1)
+		bn := b.appendAttachment(nil)
 		if a.key != b.key {
 			return false
 		}
-		an, bn := a.attachmentNodes(), b.attachmentNodes()
 		if len(an) != len(bn) {
 			return false
 		}
 		for i := range an {
 			if an[i] != bn[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deriveFlippedInto produces exactly what buildOrientedInto
+// would for the reversed argument order — the label-tie fast path is
+// an identity-preserving shortcut, not an approximation.
+func TestDeriveFlippedMatchesBuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, e1, e2, ok := randomAdjacentPair(rng)
+		if !ok {
+			return true
+		}
+		var fwd, flipped, direct canonOcc
+		buildOrientedInto(g, e1, e2, &fwd)
+		deriveFlippedInto(g, &fwd, &flipped)
+		buildOrientedInto(g, e2, e1, &direct)
+		if flipped.key != direct.key {
+			return false
+		}
+		if len(flipped.locals) != len(direct.locals) {
+			return false
+		}
+		for i := range flipped.locals {
+			if flipped.locals[i] != direct.locals[i] {
+				return false
+			}
+		}
+		if len(flipped.shared) != len(direct.shared) {
+			return false
+		}
+		for i := range flipped.shared {
+			if flipped.shared[i] != direct.shared[i] {
 				return false
 			}
 		}
@@ -87,9 +135,9 @@ func TestCanonicalOccurrenceInvariants(t *testing.T) {
 		if !ok {
 			return true
 		}
-		co := canonicalize(g, e1, e2)
-		att := co.attachmentNodes()
-		rem := co.removalNodes()
+		co := canonTest(g, e1, e2)
+		att := co.appendAttachment(nil)
+		rem := co.appendRemoval(nil)
 		if len(att)+len(rem) != len(co.locals) {
 			return false
 		}
@@ -118,7 +166,7 @@ func TestCanonicalOccurrenceInvariants(t *testing.T) {
 		if co.rank() < 1 || co.rank() > 4 {
 			return true // ruleGraph only invoked for admissible ranks
 		}
-		rhs := ruleGraph(g, &co)
+		rhs := ruleGraph(g, co)
 		if rhs.Rank() != co.rank() || rhs.NumEdges() != 2 {
 			return false
 		}
@@ -147,8 +195,8 @@ func TestKeyDeterminesRuleGraph(t *testing.T) {
 		if !ok {
 			continue
 		}
-		co := canonicalize(g, e1, e2)
-		rhs := ruleGraph(g, &co)
+		co := canonTest(g, e1, e2)
+		rhs := ruleGraph(g, co)
 		if prev, seen := byKey[co.key]; seen {
 			if !hypergraph.EqualHyper(prev, rhs) {
 				t.Fatalf("same key, different rule graphs")
@@ -168,30 +216,84 @@ func TestEffLabelGrouping(t *testing.T) {
 	g.AddEdge(1, 3, 2) // at node 2: (1, pos1)
 	g.AddEdge(1, 2, 4) // at node 2: (1, pos0)
 	g.AddEdge(2, 2, 3) // at node 2: (2, pos0)
-	keys, groups := groupIncident(g, 2)
-	if len(keys) != 3 {
-		t.Fatalf("groups = %d, want 3", len(keys))
+	c := &compressor{g: g}
+	c.groupIncident(2)
+	groups := len(c.groupStart) - 1
+	if groups != 3 {
+		t.Fatalf("groups = %d, want 3", groups)
 	}
-	total := 0
-	for _, k := range keys {
-		total += len(groups[k])
+	if len(c.incBuf) != 4 {
+		t.Fatalf("grouped %d edges, want 4", len(c.incBuf))
 	}
-	if total != 4 {
-		t.Fatalf("grouped %d edges, want 4", total)
+	// Group keys are sorted ascending with incidence order preserved
+	// inside each group.
+	for i := 1; i < len(c.incBuf); i++ {
+		a, b := c.incBuf[i-1], c.incBuf[i]
+		if a.l > b.l || (a.l == b.l && a.idx >= b.idx) {
+			t.Fatal("entries not sorted by (effLabel, incidence position)")
+		}
 	}
-	// Keys are sorted ascending.
-	for i := 1; i < len(keys); i++ {
-		if keys[i-1] >= keys[i] {
-			t.Fatal("group keys not sorted")
+	for gi := 0; gi+1 < len(c.groupStart); gi++ {
+		s, e := c.groupStart[gi], c.groupStart[gi+1]
+		if s >= e {
+			t.Fatal("empty group recorded")
+		}
+		for m := s; m+1 < e; m++ {
+			if c.incBuf[m].l != c.incBuf[m+1].l {
+				t.Fatal("group spans two effLabels")
+			}
 		}
 	}
 }
 
-func TestKeyHashStability(t *testing.T) {
-	if keyHash("abc") != keyHash("abc") {
-		t.Fatal("hash not deterministic")
+// oldKeyBytes reproduces the byte-string key layout the compressor
+// used before the packed key existed; the packed key's hash must be
+// the FNV-1a of exactly this sequence so that grammar output stays
+// byte-identical (used-set collisions included).
+func oldKeyBytes(k *digramKey) []byte {
+	var kb []byte
+	put32 := func(x uint32) {
+		kb = append(kb, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
 	}
-	if keyHash("abc") == keyHash("abd") {
-		t.Fatal("suspicious collision on near keys")
+	put32(uint32(k.la))
+	put32(uint32(k.lb))
+	kb = append(kb, k.ra, k.rb)
+	kb = append(kb, k.pat[:k.rb]...)
+	kb = append(kb, 0xFF)
+	for i := 0; i < int(k.n); i++ {
+		kb = append(kb, byte(k.ext>>uint(i)&1))
+	}
+	return kb
+}
+
+func fnv1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range b {
+		h = (h ^ uint64(x)) * prime64
+	}
+	return h
+}
+
+func TestKeyHashMatchesLegacyByteKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	distinct := map[uint64]bool{}
+	for trial := 0; trial < 200; trial++ {
+		g, e1, e2, ok := randomAdjacentPair(rng)
+		if !ok {
+			continue
+		}
+		co := canonTest(g, e1, e2)
+		want := fnv1a(oldKeyBytes(&co.key))
+		if got := co.key.hash(); got != want {
+			t.Fatalf("hash %x diverges from legacy byte-key FNV %x", got, want)
+		}
+		distinct[co.key.hash()] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatal("test generated too few distinct keys to be meaningful")
 	}
 }

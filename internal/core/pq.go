@@ -4,85 +4,121 @@ package core
 // It stays registered in the occurrence lists of both of its edges;
 // when either edge is consumed by another replacement the occurrence
 // is invalidated and its digram's count decremented (the "update
-// occurrence lists" step, Sec. III-A2).
+// occurrence lists" step, Sec. III-A2). Occurrences live in the
+// compressor's occPool arena and are referenced by index, never by
+// pointer, so the arena can grow and be reset without churning the
+// garbage collector (DESIGN.md §5.6).
 type occurrence struct {
 	e1, e2 int32 // edge IDs
+	dig    int32 // index into the compressor's digram pool
 	dead   bool
-	dig    *digramInfo
 }
 
+// noDigram is the sentinel index for "no digram".
+const noDigram int32 = -1
+
 // digramInfo tracks one active digram: its occurrence list and its
-// position in the frequency priority queue.
+// position in the frequency priority queue. Infos live in the
+// compressor's digramPool arena; occs holds occPool indices.
 type digramInfo struct {
 	key      digramKey
-	occs     []*occurrence
-	count    int // live occurrences
-	queuedAt int // bucket the digram was last enqueued into (-1: none)
+	occs     []int32 // occPool indices
+	count    int32   // live occurrences
+	queuedAt int32   // bucket the digram was last enqueued into (-1: none)
 	retired  bool
+}
+
+// appendDigram allocates a digram in the pool, reviving the occs
+// backing array of a previously truncated slot when one is available.
+func appendDigram(pool []digramInfo, key digramKey) []digramInfo {
+	if len(pool) < cap(pool) {
+		pool = pool[:len(pool)+1]
+		d := &pool[len(pool)-1]
+		d.key = key
+		d.occs = d.occs[:0]
+		d.count = 0
+		d.queuedAt = -1
+		d.retired = false
+		return pool
+	}
+	return append(pool, digramInfo{key: key, queuedAt: -1})
 }
 
 // bucketQueue is the √n-bucket priority queue of Larsson & Moffat
 // (Sec. III-C1 data structures): bucket i holds digrams with i live
 // occurrences; the last bucket holds every digram with ≥ B
 // occurrences. Entries are updated lazily: a digram may appear in
-// several buckets, and stale entries are discarded on pop.
+// several buckets, and stale entries are discarded on pop. The queue
+// stores digramPool indices and is reset (not reallocated) per stage.
 type bucketQueue struct {
-	buckets [][]*digramInfo
+	buckets [][]int32
 	b       int // max bucket index (≈ √|E|)
 	hi      int // highest bucket that may be non-empty
 }
 
-func newBucketQueue(numEdges int) *bucketQueue {
+// reset sizes the queue for a stage over numEdges edges, reusing every
+// bucket's backing array.
+func (q *bucketQueue) reset(numEdges int) {
 	b := 2
 	for b*b < numEdges {
 		b++
 	}
-	if b < 2 {
-		b = 2
+	if cap(q.buckets) >= b+1 {
+		q.buckets = q.buckets[:b+1]
+	} else {
+		q.buckets = append(q.buckets[:cap(q.buckets)], make([][]int32, b+1-cap(q.buckets))...)
 	}
-	return &bucketQueue{buckets: make([][]*digramInfo, b+1), b: b}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.b = b
+	q.hi = 0
 }
 
-func (q *bucketQueue) bucketFor(count int) int {
-	if count > q.b {
+func (q *bucketQueue) bucketFor(count int32) int {
+	if int(count) > q.b {
 		return q.b
 	}
-	return count
+	return int(count)
 }
 
-// update (re-)enqueues d according to its current count. Digrams with
-// fewer than two occurrences are not active and are left to expire.
-func (q *bucketQueue) update(d *digramInfo) {
+// update (re-)enqueues digram di according to its current count.
+// Digrams with fewer than two occurrences are not active and are left
+// to expire.
+func (q *bucketQueue) update(pool []digramInfo, di int32) {
+	d := &pool[di]
 	if d.retired || d.count < 2 {
 		return
 	}
 	bk := q.bucketFor(d.count)
-	if d.queuedAt == bk {
+	if int(d.queuedAt) == bk {
 		return
 	}
-	d.queuedAt = bk
-	q.buckets[bk] = append(q.buckets[bk], d)
+	d.queuedAt = int32(bk)
+	q.buckets[bk] = append(q.buckets[bk], di)
 	if bk > q.hi {
 		q.hi = bk
 	}
 }
 
 // popMax removes and returns an active digram of maximal frequency,
-// or nil when no digram has at least two live occurrences. Within the
-// overflow bucket (counts ≥ B) the true maximum is selected by scan.
-func (q *bucketQueue) popMax() *digramInfo {
+// or noDigram when no digram has at least two live occurrences.
+// Within the overflow bucket (counts ≥ B) the true maximum is selected
+// by scan.
+func (q *bucketQueue) popMax(pool []digramInfo) int32 {
 	for q.hi >= 2 {
 		bucket := q.buckets[q.hi]
 		// Drop stale entries from the tail.
 		for len(bucket) > 0 {
-			d := bucket[len(bucket)-1]
-			if d.retired || d.count < 2 || q.bucketFor(d.count) != q.hi || d.queuedAt != q.hi {
+			di := bucket[len(bucket)-1]
+			d := &pool[di]
+			if d.retired || d.count < 2 || q.bucketFor(d.count) != q.hi || int(d.queuedAt) != q.hi {
 				bucket = bucket[:len(bucket)-1]
 				q.buckets[q.hi] = bucket
 				if !d.retired && d.count >= 2 {
 					// Re-enqueue into its correct bucket.
 					d.queuedAt = -1
-					q.update(d)
+					q.update(pool, di)
 				}
 				continue
 			}
@@ -96,22 +132,24 @@ func (q *bucketQueue) popMax() *digramInfo {
 		pick := len(bucket) - 1
 		if q.hi == q.b {
 			for i := range bucket {
-				d := bucket[i]
-				if d.retired || d.count < 2 || d.queuedAt != q.hi {
+				d := &pool[bucket[i]]
+				if d.retired || d.count < 2 || int(d.queuedAt) != q.hi {
 					continue
 				}
-				if bucket[pick].retired || d.count > bucket[pick].count {
+				p := &pool[bucket[pick]]
+				if p.retired || d.count > p.count {
 					pick = i
 				}
 			}
 		}
-		d := bucket[pick]
+		di := bucket[pick]
 		bucket[pick] = bucket[len(bucket)-1]
 		q.buckets[q.hi] = bucket[:len(bucket)-1]
-		if d.retired || d.count < 2 || d.queuedAt != q.hi {
+		d := &pool[di]
+		if d.retired || d.count < 2 || int(d.queuedAt) != q.hi {
 			continue // stale after all; loop again
 		}
-		return d
+		return di
 	}
-	return nil
+	return noDigram
 }

@@ -5,73 +5,114 @@ import (
 	"testing"
 )
 
-func mkDigram(count int) *digramInfo {
-	return &digramInfo{key: digramKey("k"), count: count, queuedAt: -1}
+// qfix bundles a bucket queue with the digram pool its indices point
+// into.
+type qfix struct {
+	pool []digramInfo
+	q    bucketQueue
+}
+
+func newQfix(numEdges int) *qfix {
+	f := &qfix{}
+	f.q.reset(numEdges)
+	return f
+}
+
+func (f *qfix) mk(count int) int32 {
+	di := int32(len(f.pool))
+	f.pool = appendDigram(f.pool, digramKey{la: 1})
+	f.pool[di].count = int32(count)
+	return di
+}
+
+func (f *qfix) update(di int32) { f.q.update(f.pool, di) }
+func (f *qfix) popMax() int32   { return f.q.popMax(f.pool) }
+func (f *qfix) d(di int32) *digramInfo {
+	return &f.pool[di]
 }
 
 func TestBucketQueueBasicMax(t *testing.T) {
-	q := newBucketQueue(100) // B = 10
-	d3, d7, d2 := mkDigram(3), mkDigram(7), mkDigram(2)
-	q.update(d3)
-	q.update(d7)
-	q.update(d2)
-	if got := q.popMax(); got != d7 {
+	f := newQfix(100) // B = 10
+	d3, d7, d2 := f.mk(3), f.mk(7), f.mk(2)
+	f.update(d3)
+	f.update(d7)
+	f.update(d2)
+	if got := f.popMax(); got != d7 {
 		t.Fatalf("popMax = %v, want count-7 digram", got)
 	}
-	d7.retired = true
-	if got := q.popMax(); got != d3 {
+	f.d(d7).retired = true
+	if got := f.popMax(); got != d3 {
 		t.Fatal("second pop wrong")
 	}
-	d3.retired = true
-	if got := q.popMax(); got != d2 {
+	f.d(d3).retired = true
+	if got := f.popMax(); got != d2 {
 		t.Fatal("third pop wrong")
 	}
-	d2.retired = true
-	if got := q.popMax(); got != nil {
+	f.d(d2).retired = true
+	if got := f.popMax(); got != noDigram {
 		t.Fatal("queue should be empty")
 	}
 }
 
 func TestBucketQueueOverflowBucketExactMax(t *testing.T) {
-	q := newBucketQueue(16) // B = 4: counts ≥ 4 share the top bucket
-	d5, d50, d9 := mkDigram(5), mkDigram(50), mkDigram(9)
-	q.update(d5)
-	q.update(d50)
-	q.update(d9)
-	if got := q.popMax(); got != d50 {
-		t.Fatalf("overflow bucket scan picked count %d, want 50", got.count)
+	f := newQfix(16) // B = 4: counts ≥ 4 share the top bucket
+	d5, d50, d9 := f.mk(5), f.mk(50), f.mk(9)
+	f.update(d5)
+	f.update(d50)
+	f.update(d9)
+	if got := f.popMax(); got != d50 {
+		t.Fatalf("overflow bucket scan picked count %d, want 50", f.d(got).count)
 	}
 }
 
 func TestBucketQueueStaleEntriesSkipped(t *testing.T) {
-	q := newBucketQueue(100)
-	d := mkDigram(8)
-	q.update(d)
+	f := newQfix(100)
+	d := f.mk(8)
+	f.update(d)
 	// Count decays below 2: digram must not be returned.
-	d.count = 1
-	if got := q.popMax(); got != nil {
-		t.Fatalf("inactive digram returned (count %d)", got.count)
+	f.d(d).count = 1
+	if got := f.popMax(); got != noDigram {
+		t.Fatalf("inactive digram returned (count %d)", f.d(got).count)
 	}
 	// Count recovers: re-update re-enqueues.
-	d.count = 5
-	q.update(d)
-	if got := q.popMax(); got != d {
+	f.d(d).count = 5
+	f.update(d)
+	if got := f.popMax(); got != d {
 		t.Fatal("recovered digram not returned")
 	}
 }
 
 func TestBucketQueueReEnqueueOnCountChange(t *testing.T) {
-	q := newBucketQueue(100)
-	d := mkDigram(9)
-	q.update(d)
-	d.count = 3 // decayed but still active
-	q.update(d)
-	if got := q.popMax(); got != d {
+	f := newQfix(100)
+	d := f.mk(9)
+	f.update(d)
+	f.d(d).count = 3 // decayed but still active
+	f.update(d)
+	if got := f.popMax(); got != d {
 		t.Fatal("digram lost after decay")
 	}
-	d.retired = true
-	if q.popMax() != nil {
+	f.d(d).retired = true
+	if f.popMax() != noDigram {
 		t.Fatal("duplicate entry returned after retirement")
+	}
+}
+
+// TestBucketQueueResetReuse exercises the per-stage reset: a reused
+// queue must behave identically to a fresh one and must not resurrect
+// entries from the previous stage.
+func TestBucketQueueResetReuse(t *testing.T) {
+	f := newQfix(100)
+	stale := f.mk(9)
+	f.update(stale)
+	f.q.reset(16)
+	f.pool = f.pool[:0]
+	fresh := f.mk(4)
+	f.update(fresh)
+	if got := f.popMax(); got != fresh {
+		t.Fatalf("after reset popped %d, want %d", got, fresh)
+	}
+	if got := f.popMax(); got != noDigram {
+		t.Fatal("reset queue retained stale entries")
 	}
 }
 
@@ -80,47 +121,47 @@ func TestBucketQueueReEnqueueOnCountChange(t *testing.T) {
 func TestBucketQueueModelProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 50; trial++ {
-		q := newBucketQueue(1 + rng.Intn(200))
-		var all []*digramInfo
+		f := newQfix(1 + rng.Intn(200))
+		var all []int32
 		for i := 0; i < 30; i++ {
-			d := mkDigram(rng.Intn(25))
+			d := f.mk(rng.Intn(25))
 			all = append(all, d)
-			q.update(d)
+			f.update(d)
 		}
 		for step := 0; step < 40; step++ {
 			// Random count mutations.
 			d := all[rng.Intn(len(all))]
-			if !d.retired {
-				d.count = rng.Intn(25)
-				q.update(d)
+			if !f.d(d).retired {
+				f.d(d).count = int32(rng.Intn(25))
+				f.update(d)
 			}
 			if rng.Intn(3) != 0 {
 				continue
 			}
-			got := q.popMax()
+			got := f.popMax()
 			// Model: the maximal active count.
-			best := 0
+			best := int32(0)
 			for _, x := range all {
-				if !x.retired && x.count >= 2 && x.count > best {
-					best = x.count
+				if dx := f.d(x); !dx.retired && dx.count >= 2 && dx.count > best {
+					best = dx.count
 				}
 			}
 			if best == 0 {
-				if got != nil {
+				if got != noDigram {
 					t.Fatalf("trial %d: popped from empty model", trial)
 				}
 				continue
 			}
-			if got == nil {
+			if got == noDigram {
 				t.Fatalf("trial %d: queue empty but model has count %d", trial, best)
 			}
-			if got.retired || got.count < 2 {
+			if f.d(got).retired || f.d(got).count < 2 {
 				t.Fatalf("trial %d: popped inactive digram", trial)
 			}
-			if got.count != best {
-				t.Fatalf("trial %d: popped count %d, max is %d", trial, got.count, best)
+			if f.d(got).count != best {
+				t.Fatalf("trial %d: popped count %d, max is %d", trial, f.d(got).count, best)
 			}
-			got.retired = true
+			f.d(got).retired = true
 		}
 	}
 }

@@ -16,6 +16,8 @@ package hypergraph
 
 import (
 	"fmt"
+	"iter"
+	"slices"
 	"sort"
 )
 
@@ -202,6 +204,48 @@ func (g *Graph) compactInc(v NodeID) {
 func (g *Graph) Incident(v NodeID) []EdgeID {
 	g.compactInc(v)
 	return g.inc[v]
+}
+
+// IncidentSeq iterates the alive edges incident with v in insertion
+// order without exposing (or copying) the incidence list. The loop
+// body must not mutate v's incidence (no edge additions or removals
+// touching v, and no calls that compact it, such as Degree or
+// Incident on v); callers that need to mutate while iterating should
+// copy Incident(v) first.
+func (g *Graph) IncidentSeq(v NodeID) iter.Seq[EdgeID] {
+	return func(yield func(EdgeID) bool) {
+		g.compactInc(v)
+		for _, id := range g.inc[v] {
+			if g.edgeAlive[id] && !yield(id) {
+				return
+			}
+		}
+	}
+}
+
+// AppendNeighbors appends the distinct nodes sharing an edge with v
+// (any rank, any direction, excluding v), ascending, to dst and
+// returns it — the allocation-free form of Neighbors for callers that
+// reuse a buffer across nodes.
+func (g *Graph) AppendNeighbors(dst []NodeID, v NodeID) []NodeID {
+	base := len(dst)
+	for _, id := range g.Incident(v) {
+		for _, u := range g.edges[id].Att {
+			if u != v {
+				dst = append(dst, u)
+			}
+		}
+	}
+	tail := dst[base:]
+	slices.Sort(tail)
+	w := base
+	for i, u := range tail {
+		if i == 0 || u != dst[w-1] {
+			dst[w] = u
+			w++
+		}
+	}
+	return dst[:w]
 }
 
 // Degree returns the number of alive edges incident with v.

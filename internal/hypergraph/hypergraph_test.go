@@ -353,3 +353,57 @@ func TestWeakComponentsPartitionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIncidentSeqMatchesIncident(t *testing.T) {
+	g := New(5)
+	g.AddEdge(1, 1, 2)
+	g.AddEdge(2, 2, 3)
+	e := g.AddEdge(1, 3, 2)
+	g.AddEdge(3, 2, 4)
+	g.RemoveEdge(e) // leave a dead entry for the seq to skip
+
+	var got []EdgeID
+	for id := range g.IncidentSeq(2) {
+		got = append(got, id)
+	}
+	want := g.Incident(2)
+	if len(got) != len(want) {
+		t.Fatalf("IncidentSeq yielded %d edges, Incident has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("IncidentSeq order differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	// Early termination must not panic or over-yield.
+	n := 0
+	for range g.IncidentSeq(2) {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Fatalf("early break yielded %d edges, want 1", n)
+	}
+}
+
+func TestAppendNeighborsMatchesNeighbors(t *testing.T) {
+	g := New(6)
+	g.AddEdge(1, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 4, 2)
+	g.AddEdge(1, 2, 3)  // parallel edge: neighbor 3 must stay deduped
+	buf := []NodeID{99} // pre-existing prefix must be preserved
+	buf = g.AppendNeighbors(buf, 2)
+	if buf[0] != 99 {
+		t.Fatal("AppendNeighbors clobbered the prefix")
+	}
+	got, want := buf[1:], g.Neighbors(2)
+	if len(got) != len(want) {
+		t.Fatalf("AppendNeighbors = %v, Neighbors = %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AppendNeighbors = %v, Neighbors = %v", got, want)
+		}
+	}
+}

@@ -25,13 +25,13 @@ type Point struct{ R, C int }
 
 // Tree is an immutable k²-tree.
 type Tree struct {
-	K     int // arity per dimension (k)
-	Rows  int // logical row count of the matrix
-	Cols  int // logical column count
-	Size  int // padded dimension, a power of K
-	T     *bitio.Vector
-	L     *bitio.Vector
-	kk    int // K*K
+	K    int // arity per dimension (k)
+	Rows int // logical row count of the matrix
+	Cols int // logical column count
+	Size int // padded dimension, a power of K
+	T    *bitio.Vector
+	L    *bitio.Vector
+	kk   int // K*K
 }
 
 // DefaultK is the arity used by the paper's experiments.

@@ -14,6 +14,7 @@ package order
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"graphrepair/internal/hypergraph"
@@ -138,11 +139,14 @@ func fromSeq(g *hypergraph.Graph, seq []hypergraph.NodeID) *Result {
 
 // traverse produces a BFS (dfs=false) or DFS (dfs=true) order, using
 // the smallest unvisited node ID as the root of each component and
-// visiting neighbors in ascending ID order.
+// visiting neighbors in ascending ID order. The neighbor buffer is
+// reused across nodes (hypergraph.AppendNeighbors) so the traversal
+// allocates O(V), not O(V) slices.
 func traverse(g *hypergraph.Graph, dfs bool) []hypergraph.NodeID {
 	n := int(g.MaxNodeID())
 	visited := make([]bool, n+1)
 	seq := make([]hypergraph.NodeID, 0, g.NumNodes())
+	var nbs []hypergraph.NodeID
 	for _, root := range g.Nodes() {
 		if visited[root] {
 			continue
@@ -154,7 +158,7 @@ func traverse(g *hypergraph.Graph, dfs bool) []hypergraph.NodeID {
 				u := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
 				seq = append(seq, u)
-				nbs := g.Neighbors(u)
+				nbs = g.AppendNeighbors(nbs[:0], u)
 				// Push in reverse so the smallest neighbor pops first.
 				for i := len(nbs) - 1; i >= 0; i-- {
 					if !visited[nbs[i]] {
@@ -170,7 +174,8 @@ func traverse(g *hypergraph.Graph, dfs bool) []hypergraph.NodeID {
 				u := queue[0]
 				queue = queue[1:]
 				seq = append(seq, u)
-				for _, w := range g.Neighbors(u) {
+				nbs = g.AppendNeighbors(nbs[:0], u)
+				for _, w := range nbs {
 					if !visited[w] {
 						visited[w] = true
 						queue = append(queue, w)
@@ -192,6 +197,11 @@ func traverse(g *hypergraph.Graph, dfs bool) []hypergraph.NodeID {
 // graphs"; our signatures include the edge label and the positions of
 // both endpoints in the attachment sequence, which specializes to
 // (label, direction) for rank-2 edges and covers hyperedges.
+//
+// All signatures live in one flat arena refilled in place each round
+// (their sizes depend only on the static graph), so the fixpoint
+// allocates O(V) once instead of O(V) slices per round — the order
+// computation sits on the compressor's per-stage hot path.
 func refine(g *hypergraph.Graph, maxRounds int) *Result {
 	nodes := g.Nodes()
 	n := len(nodes)
@@ -205,15 +215,28 @@ func refine(g *hypergraph.Graph, maxRounds int) *Result {
 	classes := countClasses(nodes, color)
 	rounds := 1
 
-	type sigNode struct {
-		v   hypergraph.NodeID
-		sig []int64 // [own color, sorted packed neighbor tuples...]
+	// Node i's signature is arena[start[i]:start[i+1]], laid out as
+	// [own color, sorted packed neighbor tuples...].
+	start := make([]int32, n+1)
+	total := 0
+	for i, v := range nodes {
+		start[i] = int32(total)
+		total++
+		for _, id := range g.Incident(v) {
+			total += len(g.Att(id)) - 1
+		}
 	}
-	sigs := make([]sigNode, n)
+	start[n] = int32(total)
+	arena := make([]int64, total)
+	sig := func(i int32) []int64 { return arena[start[i]:start[i+1]] }
+	perm := make([]int32, n) // node indices sorted by signature
+	next := make([]int64, maxID+1)
 
 	for maxRounds < 0 || rounds < maxRounds {
 		for i, v := range nodes {
-			tuples := make([]int64, 0, g.Degree(v))
+			s := sig(int32(i))
+			s[0] = color[v]
+			w := 1
 			for _, id := range g.Incident(v) {
 				att := g.Att(id)
 				lab := int64(g.Label(id))
@@ -225,23 +248,22 @@ func refine(g *hypergraph.Graph, maxRounds int) *Result {
 					// Pack (label, myPos, otherPos, color(u)). Colors are
 					// class indices < n, so 32 bits suffice; labels and
 					// positions stay well below their fields.
-					t := lab<<44 | myPos<<38 | int64(otherPos)<<32 | color[u]
-					tuples = append(tuples, t)
+					s[w] = lab<<44 | myPos<<38 | int64(otherPos)<<32 | color[u]
+					w++
 				}
 			}
-			sort.Slice(tuples, func(a, b int) bool { return tuples[a] < tuples[b] })
-			sig := make([]int64, 1, 1+len(tuples))
-			sig[0] = color[v]
-			sigs[i] = sigNode{v: v, sig: append(sig, tuples...)}
+			slices.Sort(s[1:])
 		}
-		sort.Slice(sigs, func(a, b int) bool { return lessSig(sigs[a].sig, sigs[b].sig) })
-		next := make([]int64, maxID+1)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		slices.SortFunc(perm, func(a, b int32) int { return compareSig(sig(a), sig(b)) })
 		cls := int64(0)
-		for i := range sigs {
-			if i > 0 && lessSig(sigs[i-1].sig, sigs[i].sig) {
+		for i, pi := range perm {
+			if i > 0 && compareSig(sig(perm[i-1]), sig(pi)) != 0 {
 				cls++
 			}
-			next[sigs[i].v] = cls
+			next[nodes[pi]] = cls
 		}
 		newClasses := int(cls) + 1
 		copy(color, next)
@@ -256,11 +278,14 @@ func refine(g *hypergraph.Graph, maxRounds int) *Result {
 	}
 
 	seq := append([]hypergraph.NodeID(nil), nodes...)
-	sort.Slice(seq, func(i, j int) bool {
-		if color[seq[i]] != color[seq[j]] {
-			return color[seq[i]] < color[seq[j]]
+	slices.SortFunc(seq, func(a, b hypergraph.NodeID) int {
+		if color[a] != color[b] {
+			if color[a] < color[b] {
+				return -1
+			}
+			return 1
 		}
-		return seq[i] < seq[j]
+		return int(a - b)
 	})
 	r := fromSeq(g, seq)
 	r.Classes = countClasses(nodes, color)
@@ -291,7 +316,7 @@ func shingleOrder(g *hypergraph.Graph) *Result {
 	fps := make([]fp, 0, g.NumNodes())
 	for _, v := range g.Nodes() {
 		best := ^uint64(0)
-		for _, id := range g.Incident(v) {
+		for id := range g.IncidentSeq(v) {
 			for _, u := range g.Att(id) {
 				if u == v {
 					continue
@@ -304,14 +329,17 @@ func shingleOrder(g *hypergraph.Graph) *Result {
 		}
 		fps = append(fps, fp{v: v, min: best, deg: g.Degree(v)})
 	}
-	sort.Slice(fps, func(i, j int) bool {
-		if fps[i].min != fps[j].min {
-			return fps[i].min < fps[j].min
+	slices.SortFunc(fps, func(a, b fp) int {
+		if a.min != b.min {
+			if a.min < b.min {
+				return -1
+			}
+			return 1
 		}
-		if fps[i].deg != fps[j].deg {
-			return fps[i].deg < fps[j].deg
+		if a.deg != b.deg {
+			return a.deg - b.deg
 		}
-		return fps[i].v < fps[j].v
+		return int(a.v - b.v)
 	})
 	seq := make([]hypergraph.NodeID, len(fps))
 	for i, f := range fps {
@@ -320,13 +348,19 @@ func shingleOrder(g *hypergraph.Graph) *Result {
 	return fromSeq(g, seq)
 }
 
-func lessSig(a, b []int64) bool {
+// compareSig orders signatures lexicographically, shorter-is-smaller
+// on a shared prefix (the order lessSig produced before the arena
+// layout).
+func compareSig(a, b []int64) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }
 
 func countClasses(nodes []hypergraph.NodeID, color []int64) int {
