@@ -1,0 +1,22 @@
+// Package buf holds the buffer-reuse primitives shared by the
+// allocation-free arenas in order, grammar and core: resize a slice
+// to a requested length, reusing its backing array whenever it is
+// large enough.
+package buf
+
+// Grow returns a slice of length n, reusing s's backing array when it
+// is large enough. Contents are unspecified.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// GrowClear returns a zeroed slice of length n, reusing s's backing
+// array when it is large enough.
+func GrowClear[T any](s []T, n int) []T {
+	s = Grow(s, n)
+	clear(s)
+	return s
+}

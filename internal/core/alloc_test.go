@@ -63,6 +63,16 @@ func TestHotPathAllocationBudgets(t *testing.T) {
 		t.Errorf("tryCount (rejection path) allocates %v/op in steady state, want 0", n)
 	}
 
+	// The full stage-setup path: pool truncation, availability resets
+	// and the persistent Refiner's FP order recomputation. PR 1 made
+	// the replacement loop allocation-free; with the stage-persistent
+	// Refiner the per-stage setup must now hold the same budget.
+	if n := testing.AllocsPerRun(100, func() {
+		c.stageInit()
+	}); n != 0 {
+		t.Errorf("stageInit allocates %v/op in steady state, want 0", n)
+	}
+
 	// Single-label path: labels and ranks tie, forcing the flipped
 	// orientation derivation — the pre-optimization worst case.
 	g := hypergraph.New(5)

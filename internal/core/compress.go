@@ -82,7 +82,7 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 	if opts.MaxRank < 1 || opts.MaxRank > MaxSupportedRank {
 		return nil, fmt.Errorf("core: MaxRank %d out of range 1..%d", opts.MaxRank, MaxSupportedRank)
 	}
-	for _, id := range g.Edges() {
+	for id := range g.EdgesSeq() {
 		e := g.Edge(id)
 		if e.Label < 1 || e.Label > terminals {
 			return nil, fmt.Errorf("core: edge %d (%s) has label %d outside the terminal alphabet 1..%d",
@@ -145,12 +145,13 @@ func newCompressor(g *hypergraph.Graph, terminals hypergraph.Label, opts Options
 		g:       g.Clone(),
 		gram:    grammar.New(terminals, nil),
 		opts:    opts,
+		refiner: order.NewRefiner(),
 		digrams: make(map[digramKey]int32),
 		ranks:   make(map[hypergraph.Label]int),
 	}
 	c.gram.Start = c.g
 	c.edgeSet = make(map[uint64]int, c.g.NumEdges())
-	for _, id := range c.g.Edges() {
+	for id := range c.g.EdgesSeq() {
 		e := c.g.Edge(id)
 		c.edgeSet[hypergraph.EdgeKey(e.Label, e.Att)]++
 	}
@@ -232,7 +233,13 @@ type compressor struct {
 	g    *hypergraph.Graph
 	gram *grammar.Grammar
 	opts Options
-	ord  *order.Result
+	// refiner persists order-refinement state across stages: stage n+1
+	// refines incrementally from stage n's order instead of from
+	// scratch, and the per-stage *Result it returns reuses one arena
+	// (DESIGN.md §7). ord always points at the refiner's current
+	// result.
+	refiner *order.Refiner
+	ord     *order.Result
 
 	// digrams maps a packed key to its index in digramPool; the pool
 	// doubles as the deterministic first-seen digram order (map
@@ -318,7 +325,7 @@ func (c *compressor) stageInit() {
 		c.avail[i].reset()
 	}
 
-	c.ord = order.Compute(c.g, c.opts.Order, c.opts.Seed)
+	c.ord = c.refiner.Compute(c.g, c.opts.Order, c.opts.Seed)
 	if c.opts.Order == order.FP && c.stats.FPClasses == 0 {
 		c.stats.FPClasses = c.ord.Classes
 	}
@@ -629,7 +636,7 @@ func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
 // stage; the derived graph must not contain them).
 func (c *compressor) stripVirtualEdges() {
 	strip := func(h *hypergraph.Graph) {
-		for _, id := range h.Edges() {
+		for id := range h.EdgesSeq() {
 			if h.Label(id) == virtualLabel {
 				h.RemoveEdge(id)
 			}

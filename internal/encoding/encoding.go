@@ -40,6 +40,17 @@ const (
 	version = 1
 )
 
+// maxDecodeNodes caps the start-graph node count the decoder accepts.
+// k²-trees make the encoding sublinear in the node count, so the
+// claimed count cannot be validated against the input length; without
+// a cap a short corrupt file can demand a multi-terabyte graph
+// allocation before any edge is read (found by FuzzDecode). 16M nodes
+// is an order of magnitude above the paper's largest dataset while
+// bounding the up-front allocation to a few hundred MB. This is a
+// shared encoder/decoder policy, not a format version change: Encode
+// enforces the same cap, so every file this version writes decodes.
+const maxDecodeNodes = 1 << 24
+
 // Sizes breaks an encoded grammar down by section, in bits. The paper
 // reports that typically >90% of the output is the start graph's
 // k²-trees.
@@ -64,6 +75,12 @@ func Encode(g *grammar.Grammar) ([]byte, Sizes, error) {
 	}
 	if int(g.Start.MaxNodeID()) != g.Start.NumNodes() {
 		return nil, Sizes{}, errors.New("encoding: start graph is not compact")
+	}
+	// Mirror the decoder's node cap so an oversized graph fails at
+	// write time instead of producing a file Decode will reject.
+	if g.Start.NumNodes() > maxDecodeNodes {
+		return nil, Sizes{}, fmt.Errorf("encoding: start graph has %d nodes, format cap is %d",
+			g.Start.NumNodes(), maxDecodeNodes)
 	}
 	Normalize(g)
 
@@ -311,6 +328,12 @@ func decodeRule(r *bitio.Reader, g *grammar.Grammar) (*hypergraph.Graph, error) 
 		if err != nil {
 			return nil, err
 		}
+		// Attachment nodes are pairwise distinct, so more of them than
+		// rule nodes cannot decode; checking before the allocation
+		// keeps corrupt counts from forcing huge buffers.
+		if nAtt > nNodes {
+			return nil, fmt.Errorf("edge attaches %d nodes, rule has %d", nAtt, nNodes)
+		}
 		att := make([]hypergraph.NodeID, nAtt)
 		for i := range att {
 			extBit, err := r.ReadBool()
@@ -359,7 +382,7 @@ func decodeStart(r *bitio.Reader, g *grammar.Grammar) error {
 	if err != nil {
 		return err
 	}
-	if n > 1<<31 {
+	if n > maxDecodeNodes {
 		return fmt.Errorf("encoding: implausible start-graph node count %d", n)
 	}
 	s := hypergraph.New(int(n))
@@ -379,6 +402,12 @@ func decodeStart(r *bitio.Reader, g *grammar.Grammar) error {
 		rank, err := r.ReadDelta()
 		if err != nil {
 			return err
+		}
+		// Incidence columns hold rank pairwise-distinct rows, so a rank
+		// beyond the node count cannot decode; rejecting it here also
+		// bounds the per-permutation allocations below.
+		if rank != 2 && (rank < 1 || rank > n) {
+			return fmt.Errorf("encoding: implausible rank %d for label %d over %d nodes", rank, lab, n)
 		}
 		if rank == 2 {
 			tr, err := k2tree.DecodeFrom(r)
@@ -440,6 +469,17 @@ func decodePermutations(r *bitio.Reader, nEdges, rank int) ([][]int, error) {
 		return nil, err
 	}
 	elemBits := bits.Len(uint(rank - 1))
+	// Every dictionary entry costs rank·elemBits bits of input, and
+	// rank-1 edges admit only the identity permutation; reject counts
+	// the remaining input cannot hold before allocating (a corrupt
+	// count OOMed here before this guard — found by FuzzDecode).
+	if perBits := uint64(rank) * uint64(elemBits); perBits == 0 {
+		if nPerms > 1 {
+			return nil, fmt.Errorf("implausible permutation count %d for rank %d", nPerms, rank)
+		}
+	} else if nPerms > uint64(r.Remaining())/perBits+1 {
+		return nil, fmt.Errorf("implausible permutation count %d", nPerms)
+	}
 	dict := make([][]int, nPerms)
 	for i := range dict {
 		p := make([]int, rank)

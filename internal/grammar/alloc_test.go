@@ -1,0 +1,84 @@
+package grammar
+
+import (
+	"runtime"
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// contributingGrammar builds a grammar whose single rule has positive
+// contribution (rank-2 rule of size 5 referenced 6 times: con =
+// 6·(5−3)−5 = 7 > 0), so Prune keeps everything — the steady state of
+// a grammar that has already been pruned.
+func contributingGrammar() *Grammar {
+	rhs := hypergraph.New(3)
+	rhs.AddEdge(1, 1, 3)
+	rhs.AddEdge(1, 3, 2)
+	rhs.SetExt(1, 2)
+
+	start := hypergraph.New(8)
+	g := New(1, start)
+	a := g.AddRule(rhs)
+	for i := 0; i < 6; i++ {
+		start.AddEdge(a, hypergraph.NodeID(1+i), hypergraph.NodeID(2+i))
+	}
+	return g
+}
+
+// TestPruneAllocationBudget pins the steady-state allocation behavior
+// of Prune to zero: with the scratch arena warm and nothing left to
+// remove, re-running the full pruning pass (reference counting, the
+// single-reference fixpoint scan, the bottom-up contribution sweep)
+// must not allocate. This is the guard that keeps the index-based
+// refcount/worklist rewrite from regressing to the old map-and-closure
+// shape.
+func TestPruneAllocationBudget(t *testing.T) {
+	g := contributingGrammar()
+	if removed := g.Prune(); removed != 0 {
+		t.Fatalf("setup grammar lost %d rules; want a fully contributing grammar", removed)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if g.Prune() != 0 {
+			t.Fatal("steady-state Prune removed a rule")
+		}
+	}); n != 0 {
+		t.Errorf("no-op Prune allocates %v/op in steady state, want 0", n)
+	}
+}
+
+// TestInlineScratchReuse pins Inline's arena behavior: inlining k
+// edges of the same rule must allocate only what the host graph's own
+// growth requires (AddNode/AddEdge bookkeeping), not per-call maps or
+// buffers. Inline consumes its edge, so the budget is measured as a
+// Mallocs delta over one pass of distinct edges instead of
+// AllocsPerRun (which re-runs its body).
+func TestInlineScratchReuse(t *testing.T) {
+	// Warm the scratch with one inline on a throwaway grammar so the
+	// measured pass starts at the arena's high-water mark.
+	warm := contributingGrammar()
+	warm.Inline(warm.Start, warm.Start.Edges()[0])
+
+	g := contributingGrammar()
+	g.scratch = warm.scratch // transplant the warm arena
+	ids := g.Start.Edges()
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for _, id := range ids {
+		g.Inline(g.Start, id)
+	}
+	runtime.ReadMemStats(&m1)
+	perOp := float64(m1.Mallocs-m0.Mallocs) / float64(len(ids))
+
+	// One rank-2 rule inline adds 1 node and 2 edges to the host:
+	// AddNode appends to four per-node tables and each AddEdge copies
+	// its attachment and appends incidence entries — with append
+	// doubling that amortizes to well under 16 allocations. The old
+	// map-based Inline added a node map, two mapped-attachment slices
+	// and a fresh result slice on every call on top of that.
+	if perOp > 16 {
+		t.Errorf("Inline allocates %.1f/op; want only host-graph growth (≤ 16)", perOp)
+	}
+}

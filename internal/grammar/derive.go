@@ -3,6 +3,7 @@ package grammar
 import (
 	"fmt"
 
+	"graphrepair/internal/buf"
 	"graphrepair/internal/hypergraph"
 )
 
@@ -16,7 +17,7 @@ func (g *Grammar) DerivedNodeCounts() map[hypergraph.Label]int64 {
 	for _, l := range g.BottomUpOrder() {
 		r := g.Rule(l)
 		n := int64(r.NumNodes() - r.Rank())
-		for _, id := range r.Edges() {
+		for id := range r.EdgesSeq() {
 			if lab := r.Label(id); !g.IsTerminal(lab) {
 				n += counts[lab]
 			}
@@ -33,7 +34,7 @@ func (g *Grammar) DerivedEdgeCounts() map[hypergraph.Label]int64 {
 	for _, l := range g.BottomUpOrder() {
 		r := g.Rule(l)
 		var n int64
-		for _, id := range r.Edges() {
+		for id := range r.EdgesSeq() {
 			if lab := r.Label(id); g.IsTerminal(lab) {
 				n++
 			} else {
@@ -50,7 +51,7 @@ func (g *Grammar) DerivedEdgeCounts() map[hypergraph.Label]int64 {
 func (g *Grammar) DerivedSize() (nodes, edges int64) {
 	nc, ec := g.DerivedNodeCounts(), g.DerivedEdgeCounts()
 	nodes = int64(g.Start.NumNodes())
-	for _, id := range g.Start.Edges() {
+	for id := range g.Start.EdgesSeq() {
 		if lab := g.Start.Label(id); g.IsTerminal(lab) {
 			edges++
 		} else {
@@ -101,7 +102,7 @@ func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
 				m[v] = out.AddNode()
 			}
 		}
-		for _, id := range rhs.Edges() {
+		for id := range rhs.EdgesSeq() {
 			e := rhs.Edge(id)
 			if g.IsTerminal(e.Label) {
 				mapped := make([]hypergraph.NodeID, len(e.Att))
@@ -112,7 +113,7 @@ func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
 			}
 		}
 		// Nested nonterminals in ascending rule-edge order.
-		for _, id := range rhs.Edges() {
+		for id := range rhs.EdgesSeq() {
 			e := rhs.Edge(id)
 			if !g.IsTerminal(e.Label) {
 				mapped := make([]hypergraph.NodeID, len(e.Att))
@@ -125,7 +126,7 @@ func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
 	}
 
 	// Terminal edges of the start graph first, in ascending edge order.
-	for _, id := range g.Start.Edges() {
+	for id := range g.Start.EdgesSeq() {
 		e := g.Start.Edge(id)
 		if g.IsTerminal(e.Label) {
 			mapped := make([]hypergraph.NodeID, len(e.Att))
@@ -161,32 +162,45 @@ func (g *Grammar) MustDerive() *hypergraph.Graph {
 // external nodes merge with the edge's attachment, and the rule's
 // edges are copied in. Terminal-duplicate creation is permitted here
 // (pruning may produce rules with parallel edges only if the input had
-// them). Returns the IDs of the copied-in edges.
+// them). Returns the IDs of the copied-in edges; the slice aliases
+// grammar-owned scratch and is valid only until the next Inline or
+// Prune call on g.
+//
+// The node mapping and attachment buffers come from the grammar's
+// scratch arena, so the only steady-state allocations are the ones
+// h.AddNode/AddEdge make to grow the host graph itself.
 func (g *Grammar) Inline(h *hypergraph.Graph, id hypergraph.EdgeID) []hypergraph.EdgeID {
 	e := h.Edge(id)
 	rhs := g.Rule(e.Label)
 	if rhs == nil {
 		panic(fmt.Sprintf("grammar: Inline: label %d has no rule", e.Label))
 	}
-	att := append([]hypergraph.NodeID(nil), e.Att...)
+	s := g.scr()
+	s.att = append(s.att[:0], e.Att...)
 	h.RemoveEdge(id)
-	m := make(map[hypergraph.NodeID]hypergraph.NodeID, rhs.NumNodes())
+	// m maps rule nodes to host nodes; flat, indexed by rule NodeID.
+	// Zero (an invalid host ID) marks unmapped slots, so stale entries
+	// from the previous Inline must be cleared.
+	s.nodeMap = buf.GrowClear(s.nodeMap, int(rhs.MaxNodeID())+1)
+	m := s.nodeMap
 	for i, x := range rhs.Ext() {
-		m[x] = att[i]
+		m[x] = s.att[i]
 	}
-	for _, v := range rhs.Nodes() {
-		if !rhs.IsExternal(v) {
+	for v := hypergraph.NodeID(1); v <= rhs.MaxNodeID(); v++ {
+		if rhs.HasNode(v) && !rhs.IsExternal(v) {
 			m[v] = h.AddNode()
 		}
 	}
-	var added []hypergraph.EdgeID
-	for _, rid := range rhs.Edges() {
+	added := s.added[:0]
+	for rid := range rhs.EdgesSeq() {
 		re := rhs.Edge(rid)
-		mapped := make([]hypergraph.NodeID, len(re.Att))
-		for i, v := range re.Att {
-			mapped[i] = m[v]
+		mapped := s.mapped[:0]
+		for _, v := range re.Att {
+			mapped = append(mapped, m[v])
 		}
+		s.mapped = mapped
 		added = append(added, h.AddEdge(re.Label, mapped...))
 	}
+	s.added = added
 	return added
 }

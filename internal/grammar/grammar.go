@@ -32,6 +32,9 @@ type Grammar struct {
 	Start *hypergraph.Graph
 	// rules[i] is the right-hand side of nonterminal Terminals+1+i.
 	rules []*hypergraph.Graph
+	// scratch backs Prune and Inline with reusable buffers (see
+	// gramScratch); lazily allocated, not safe for concurrent use.
+	scratch *gramScratch
 }
 
 // New returns a grammar with the given terminal alphabet size and
@@ -142,7 +145,7 @@ func (g *Grammar) NodeSize() int {
 // attachment lengths match label ranks, and ≤NT is acyclic.
 func (g *Grammar) Validate() error {
 	check := func(h *hypergraph.Graph, what string) error {
-		for _, id := range h.Edges() {
+		for id := range h.EdgesSeq() {
 			e := h.Edge(id)
 			if e.Label == 0 {
 				return fmt.Errorf("grammar: %s: edge %d has reserved label 0", what, id)
@@ -205,7 +208,7 @@ func (g *Grammar) bottomUpOrder() ([]hypergraph.Label, error) {
 		if r == nil {
 			return fmt.Errorf("grammar: unknown nonterminal %d", l)
 		}
-		for _, id := range r.Edges() {
+		for id := range r.EdgesSeq() {
 			if lab := r.Label(id); !g.IsTerminal(lab) {
 				if err := visit(lab); err != nil {
 					return err
@@ -245,7 +248,7 @@ func (g *Grammar) Height() int {
 	}
 	for _, l := range order {
 		d := 1
-		for _, id := range g.Rule(l).Edges() {
+		for id := range g.Rule(l).EdgesSeq() {
 			if lab := g.Rule(l).Label(id); !g.IsTerminal(lab) {
 				if depth[lab]+1 > d {
 					d = depth[lab] + 1
@@ -255,7 +258,7 @@ func (g *Grammar) Height() int {
 		depth[l] = d
 	}
 	h := 0
-	for _, id := range g.Start.Edges() {
+	for id := range g.Start.EdgesSeq() {
 		if lab := g.Start.Label(id); !g.IsTerminal(lab) {
 			if depth[lab] > h {
 				h = depth[lab]
@@ -270,7 +273,7 @@ func (g *Grammar) Height() int {
 func (g *Grammar) RefCounts() map[hypergraph.Label]int {
 	ref := make(map[hypergraph.Label]int, len(g.rules))
 	count := func(h *hypergraph.Graph) {
-		for _, id := range h.Edges() {
+		for id := range h.EdgesSeq() {
 			if lab := h.Label(id); !g.IsTerminal(lab) {
 				ref[lab]++
 			}
@@ -291,7 +294,7 @@ func (g *Grammar) RefCounts() map[hypergraph.Label]int {
 // start graph from matrices, losing insertion order) agree on val(G).
 func (g *Grammar) sortedNTEdges(h *hypergraph.Graph) []hypergraph.EdgeID {
 	var nts []hypergraph.EdgeID
-	for _, id := range h.Edges() {
+	for id := range h.EdgesSeq() {
 		if !g.IsTerminal(h.Label(id)) {
 			nts = append(nts, id)
 		}

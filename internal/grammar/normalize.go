@@ -29,8 +29,17 @@ func (g *Grammar) ChomskyNormalForm() {
 // h has at most two edges.
 func (g *Grammar) splitGraph(h *hypergraph.Graph, isStart bool) {
 	for h.NumEdges() > 2 {
-		edges := h.Edges()
-		e1, e2 := edges[0], edges[1]
+		// Only the first two alive edges are needed; EdgesSeq avoids
+		// snapshotting the whole list every split iteration.
+		e1, e2 := hypergraph.NoEdge, hypergraph.NoEdge
+		for id := range h.EdgesSeq() {
+			if e1 == hypergraph.NoEdge {
+				e1 = id
+			} else {
+				e2 = id
+				break
+			}
+		}
 
 		// Nodes of the pair; a node stays visible (external in the new
 		// rule) if it is incident with a remaining edge or external in

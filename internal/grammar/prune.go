@@ -1,8 +1,48 @@
 package grammar
 
 import (
+	"fmt"
+
+	"graphrepair/internal/buf"
 	"graphrepair/internal/hypergraph"
 )
+
+// gramScratch holds the reusable buffers behind Prune and Inline
+// (DESIGN.md §7): reference counts and removal flags live in flat
+// arrays indexed by rule index, the bottom-up order is computed with
+// an explicit stack instead of closures, and Inline maps rule nodes
+// through a flat NodeID table. Everything is grown lazily and reused
+// across calls, so a second Prune on an already-pruned grammar — the
+// steady state of long-lived grammars — allocates nothing (pinned by
+// TestPruneAllocationBudget).
+type gramScratch struct {
+	ref     []int32             // per rule: reference count
+	removed []bool              // per rule: inlined away in this Prune
+	remap   []hypergraph.Label  // per rule: compacted label (0 = dropped)
+	order   []hypergraph.Label  // bottom-up ≤NT order
+	state   []uint8             // per rule: DFS state
+	cursor  []int32             // per rule: DFS edge cursor
+	stack   []int32             // DFS stack of rule indices
+	edgeBuf []hypergraph.EdgeID // l-edge snapshot per host
+
+	// Inline scratch.
+	att     []hypergraph.NodeID // attachment copy of the inlined edge
+	nodeMap []hypergraph.NodeID // rule NodeID → host NodeID
+	mapped  []hypergraph.NodeID // per-edge mapped attachment
+	added   []hypergraph.EdgeID // edge IDs copied into the host
+}
+
+// scr returns the grammar's scratch, allocating it on first use.
+func (g *Grammar) scr() *gramScratch {
+	if g.scratch == nil {
+		g.scratch = &gramScratch{}
+	}
+	return g.scratch
+}
+
+// ruleIndex returns l's index into g.rules (negative or out of range
+// for terminals and unknown labels).
+func (g *Grammar) ruleIndex(l hypergraph.Label) int { return int(l - g.Terminals - 1) }
 
 // HandleSize returns |handle(A)| for a nonterminal of the given rank
 // (paper Sec. III-A3): the total size of the minimal graph holding one
@@ -42,52 +82,28 @@ func (g *Grammar) Contribution(l hypergraph.Label, ref int) int {
 // remaining nonterminals are renumbered densely (preserving relative
 // order) so label space stays contiguous for the encoder.
 func (g *Grammar) Prune() int {
-	removed := make(map[hypergraph.Label]bool)
-	ref := g.RefCounts()
-
-	// inlineAll replaces every l-edge in the start graph and all live
-	// right-hand sides by rhs(l), updating reference counts.
-	inlineAll := func(l hypergraph.Label) {
-		rhs := g.Rule(l)
-		hosts := []*hypergraph.Graph{g.Start}
-		for _, nt := range g.Nonterminals() {
-			if !removed[nt] && nt != l {
-				hosts = append(hosts, g.Rule(nt))
-			}
-		}
-		for _, h := range hosts {
-			for _, id := range h.Edges() {
-				if h.Label(id) != l {
-					continue
-				}
-				g.Inline(h, id)
-				// The inlined copy adds one reference per nonterminal
-				// edge of rhs(l); the l-edge itself is gone.
-				for _, rid := range rhs.Edges() {
-					if lab := rhs.Label(rid); !g.IsTerminal(lab) {
-						ref[lab]++
-					}
-				}
-			}
-		}
-		// References held by rhs(l) itself disappear with the rule.
-		for _, rid := range rhs.Edges() {
-			if lab := rhs.Label(rid); !g.IsTerminal(lab) {
-				ref[lab]--
-			}
-		}
-		removed[l] = true
-		delete(ref, l)
+	nr := len(g.rules)
+	if nr == 0 {
+		return 0
+	}
+	s := g.scr()
+	s.removed = buf.GrowClear(s.removed, nr)
+	s.ref = buf.GrowClear(s.ref, nr)
+	g.countRefsInto(s.ref, g.Start)
+	for _, r := range g.rules {
+		g.countRefsInto(s.ref, r)
 	}
 
+	removed := 0
 	// Pass 1: rules referenced exactly once never contribute.
 	// Iterate to a fixpoint: inlining can drop other counts to one.
 	for {
 		inlined := false
-		for _, l := range g.Nonterminals() {
-			if !removed[l] && ref[l] == 1 {
-				inlineAll(l)
+		for i := 0; i < nr; i++ {
+			if !s.removed[i] && s.ref[i] == 1 {
+				g.inlineRule(i)
 				inlined = true
+				removed++
 			}
 		}
 		if !inlined {
@@ -96,53 +112,175 @@ func (g *Grammar) Prune() int {
 	}
 
 	// Pass 2: bottom-up ≤NT order, removing non-contributing rules.
-	for _, l := range g.bottomUpOrderLive(removed) {
-		if removed[l] {
+	// The order is fixed before the loop; inlining only appends edges
+	// to rules later in it.
+	g.bottomUpInto(s)
+	for _, l := range s.order {
+		i := g.ruleIndex(l)
+		if s.removed[i] {
 			continue
 		}
-		if g.Contribution(l, ref[l]) <= 0 {
-			inlineAll(l)
+		if g.Contribution(l, int(s.ref[i])) <= 0 {
+			g.inlineRule(i)
+			removed++
 		}
 	}
 
 	// Compact: renumber surviving nonterminals densely.
-	if len(removed) > 0 {
-		g.compactLabels(removed)
+	if removed > 0 {
+		g.compactLabels()
 	}
-	return len(removed)
+	return removed
 }
 
-// bottomUpOrderLive is BottomUpOrder restricted to live rules.
-func (g *Grammar) bottomUpOrderLive(removed map[hypergraph.Label]bool) []hypergraph.Label {
-	all := g.BottomUpOrder()
-	out := all[:0]
-	for _, l := range all {
-		if !removed[l] {
-			out = append(out, l)
+// countRefsInto adds h's nonterminal edge labels to the flat reference
+// counts.
+func (g *Grammar) countRefsInto(ref []int32, h *hypergraph.Graph) {
+	for id := range h.EdgesSeq() {
+		if lab := h.Label(id); !g.IsTerminal(lab) {
+			ref[g.ruleIndex(lab)]++
 		}
 	}
-	return out
+}
+
+// inlineRule replaces every edge labeled with rule i's nonterminal in
+// the start graph and all live right-hand sides by rhs(i), updating
+// reference counts, and marks the rule removed.
+func (g *Grammar) inlineRule(i int) {
+	s := g.scratch
+	l := g.Terminals + 1 + hypergraph.Label(i)
+	rhs := g.rules[i]
+	g.inlineRuleIn(g.Start, l, rhs)
+	for j, r := range g.rules {
+		if j != i && !s.removed[j] {
+			g.inlineRuleIn(r, l, rhs)
+		}
+	}
+	// References held by rhs(l) itself disappear with the rule.
+	for rid := range rhs.EdgesSeq() {
+		if lab := rhs.Label(rid); !g.IsTerminal(lab) {
+			s.ref[g.ruleIndex(lab)]--
+		}
+	}
+	s.removed[i] = true
+	s.ref[i] = 0
+}
+
+// inlineRuleIn inlines every l-edge of host h. The l-edges are
+// snapshotted up front: Inline mutates h, and no new l-edge can appear
+// because ≤NT is acyclic (rhs(l) cannot reference l).
+func (g *Grammar) inlineRuleIn(h *hypergraph.Graph, l hypergraph.Label, rhs *hypergraph.Graph) {
+	s := g.scratch
+	snap := s.edgeBuf[:0]
+	for id := range h.EdgesSeq() {
+		if h.Label(id) == l {
+			snap = append(snap, id)
+		}
+	}
+	s.edgeBuf = snap
+	for _, id := range snap {
+		g.Inline(h, id)
+		// The inlined copy adds one reference per nonterminal edge of
+		// rhs(l); the l-edge itself is gone.
+		for rid := range rhs.EdgesSeq() {
+			if lab := rhs.Label(rid); !g.IsTerminal(lab) {
+				s.ref[g.ruleIndex(lab)]++
+			}
+		}
+	}
+}
+
+// bottomUpInto fills s.order with the live nonterminals in bottom-up
+// ≤NT order: the same depth-first traversal as BottomUpOrder (rules
+// visited in ascending label order, right-hand-side edges in
+// ascending ID order, rules removed by this Prune still traversed),
+// filtered to live rules — but run with an explicit stack and per-rule
+// edge cursors in the scratch arena, so it allocates nothing once the
+// buffers are warm. Panics on a cyclic ≤NT, like BottomUpOrder.
+func (g *Grammar) bottomUpInto(s *gramScratch) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	nr := len(g.rules)
+	s.state = buf.GrowClear(s.state, nr)
+	s.cursor = buf.GrowClear(s.cursor, nr)
+	s.order = s.order[:0]
+	stack := s.stack[:0]
+	for root := 0; root < nr; root++ {
+		if s.state[root] != unvisited {
+			continue
+		}
+		s.state[root] = visiting
+		stack = append(stack, int32(root))
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			r := g.rules[i]
+			pushed := false
+			for c := s.cursor[i]; c < int32(r.MaxEdgeID()); c++ {
+				id := hypergraph.EdgeID(c)
+				if !r.HasEdge(id) {
+					continue
+				}
+				lab := r.Label(id)
+				if g.IsTerminal(lab) {
+					continue
+				}
+				j := g.ruleIndex(lab)
+				if j < 0 || j >= nr {
+					panic(fmt.Sprintf("grammar: unknown nonterminal %d", lab))
+				}
+				if s.state[j] == done {
+					continue
+				}
+				if s.state[j] == visiting {
+					panic(fmt.Sprintf("grammar: cyclic nonterminal reference at %d", lab))
+				}
+				// Descend; resume this rule after the edge.
+				s.cursor[i] = c + 1
+				s.state[j] = visiting
+				stack = append(stack, int32(j))
+				pushed = true
+				break
+			}
+			if !pushed {
+				stack = stack[:len(stack)-1]
+				s.state[i] = done
+				s.order = append(s.order, g.Terminals+1+hypergraph.Label(i))
+			}
+		}
+	}
+	s.stack = stack
+	// Restrict to live rules, preserving order.
+	live := s.order[:0]
+	for _, l := range s.order {
+		if !s.removed[g.ruleIndex(l)] {
+			live = append(live, l)
+		}
+	}
+	s.order = live
 }
 
 // compactLabels drops removed rules and renumbers the survivors
 // densely above Terminals, rewriting every edge label.
-func (g *Grammar) compactLabels(removed map[hypergraph.Label]bool) {
-	remap := make(map[hypergraph.Label]hypergraph.Label)
-	var kept []*hypergraph.Graph
+func (g *Grammar) compactLabels() {
+	s := g.scratch
+	s.remap = buf.GrowClear(s.remap, len(g.rules))
+	kept := g.rules[:0]
 	for i, r := range g.rules {
-		old := g.Terminals + 1 + hypergraph.Label(i)
-		if removed[old] {
+		if s.removed[i] {
 			continue
 		}
-		remap[old] = g.Terminals + 1 + hypergraph.Label(len(kept))
+		s.remap[i] = g.Terminals + 1 + hypergraph.Label(len(kept))
 		kept = append(kept, r)
 	}
 	rewrite := func(h *hypergraph.Graph) {
-		for _, id := range h.Edges() {
+		for id := range h.EdgesSeq() {
 			e := h.Edge(id)
 			if !g.IsTerminal(e.Label) {
-				nl, ok := remap[e.Label]
-				if !ok {
+				nl := s.remap[g.ruleIndex(e.Label)]
+				if nl == 0 {
 					panic("grammar: compactLabels: dangling removed nonterminal")
 				}
 				e.Label = nl
@@ -152,6 +290,11 @@ func (g *Grammar) compactLabels(removed map[hypergraph.Label]bool) {
 	rewrite(g.Start)
 	for _, r := range kept {
 		rewrite(r)
+	}
+	// Drop the tail so removed rule graphs become collectable.
+	tail := g.rules[len(kept):]
+	for i := range tail {
+		tail[i] = nil
 	}
 	g.rules = kept
 }

@@ -1,0 +1,84 @@
+package hypergraph
+
+import "testing"
+
+// benchGraph builds a graph with n nodes, a ring of rank-2 edges and a
+// sprinkling of tombstoned edges, so the iteration benchmarks cover
+// the dead-entry skip path too.
+func benchGraph(n int) *Graph {
+	g := New(n)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(1, NodeID(i), NodeID(i%n+1))
+	}
+	for i := 1; i < n; i += 7 {
+		id := g.AddEdge(2, NodeID(i), NodeID((i+1)%n+1))
+		g.RemoveEdge(id)
+	}
+	return g
+}
+
+// BenchmarkEdgesCopy and BenchmarkEdgesSeq pin the cost gap between
+// the copying Edges() accessor and the EdgesSeq iterator. The perf
+// regression harness (CI bench smoke) runs both, so an accidental
+// migration of a hot caller back to the copying path shows up as a
+// step in the allocs/op column of this pair.
+func BenchmarkEdgesCopy(b *testing.B) {
+	g := benchGraph(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := 0
+		for _, id := range g.Edges() {
+			s += int(g.Label(id))
+		}
+		_ = s
+	}
+}
+
+func BenchmarkEdgesSeq(b *testing.B) {
+	g := benchGraph(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := 0
+		for id := range g.EdgesSeq() {
+			s += int(g.Label(id))
+		}
+		_ = s
+	}
+}
+
+// TestEdgesSeqMatchesEdges pins the iterator to the snapshot Edges()
+// returns, including after removals, and checks the documented
+// mutation contract: removing the yielded edge mid-loop is safe, and
+// edges added during the iteration are not yielded.
+func TestEdgesSeqMatchesEdges(t *testing.T) {
+	g := benchGraph(50)
+	var seq []EdgeID
+	for id := range g.EdgesSeq() {
+		seq = append(seq, id)
+	}
+	want := g.Edges()
+	if len(seq) != len(want) {
+		t.Fatalf("EdgesSeq yielded %d edges, Edges() has %d", len(seq), len(want))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("EdgesSeq[%d] = %d, want %d", i, seq[i], want[i])
+		}
+	}
+
+	// Remove-current plus add-during-iteration: every pre-existing
+	// alive edge is yielded exactly once, none of the added ones are.
+	before := g.NumEdges()
+	visited := 0
+	for id := range g.EdgesSeq() {
+		visited++
+		g.AddEdge(3, 1, 2)
+		g.RemoveEdge(id)
+	}
+	if visited != before {
+		t.Fatalf("visited %d edges, want %d (added edges must not be yielded)", visited, before)
+	}
+	if g.NumEdges() != before {
+		t.Fatalf("after remove+add per edge, NumEdges = %d, want %d", g.NumEdges(), before)
+	}
+}

@@ -303,18 +303,30 @@ func (g *Graph) ExtIndex(v NodeID) int {
 // IsExternal reports whether v is an external node.
 func (g *Graph) IsExternal(v NodeID) bool { return g.ExtIndex(v) >= 0 }
 
-// Nodes returns all alive node IDs in ascending order.
+// Nodes returns all alive node IDs in ascending order. The slice is
+// freshly allocated; loops that run per stage should reuse a buffer
+// via AppendNodes instead.
 func (g *Graph) Nodes() []NodeID {
-	out := make([]NodeID, 0, g.numNodes)
-	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
-		if g.nodeAlive[v] {
-			out = append(out, v)
-		}
-	}
-	return out
+	return g.AppendNodes(make([]NodeID, 0, g.numNodes))
 }
 
-// Edges returns all alive edge IDs in ascending order.
+// AppendNodes appends all alive node IDs in ascending order to dst and
+// returns it — the allocation-free form of Nodes for callers that
+// reuse a buffer across calls.
+func (g *Graph) AppendNodes(dst []NodeID) []NodeID {
+	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
+		if g.nodeAlive[v] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// Edges returns all alive edge IDs in ascending order. The slice is
+// freshly allocated on every call (O(|E|) garbage): it exists for
+// callers that need a mutation-stable snapshot, e.g. to remove edges
+// other than the one at hand while walking the list. New code on any
+// hot path should iterate with EdgesSeq instead, which copies nothing.
 func (g *Graph) Edges() []EdgeID {
 	out := make([]EdgeID, 0, g.numEdges)
 	for id := EdgeID(0); int(id) < len(g.edges); id++ {
@@ -323,6 +335,23 @@ func (g *Graph) Edges() []EdgeID {
 		}
 	}
 	return out
+}
+
+// EdgesSeq iterates the alive edge IDs in ascending order without
+// allocating, mirroring IncidentSeq. The loop body may remove the
+// yielded edge and may add new edges (edges added during the iteration
+// are not yielded; edges removed before being reached are skipped).
+func (g *Graph) EdgesSeq() iter.Seq[EdgeID] {
+	return func(yield func(EdgeID) bool) {
+		// Snapshot the length: edges appended by the loop body are not
+		// part of the iteration even if the backing array reallocates.
+		n := EdgeID(len(g.edges))
+		for id := EdgeID(0); id < n; id++ {
+			if g.edgeAlive[id] && !yield(id) {
+				return
+			}
+		}
+	}
 }
 
 // EdgeSize returns |g|E: edges of rank <= 2 count one, larger

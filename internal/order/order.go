@@ -9,13 +9,15 @@
 // their neighborhoods until a fixpoint is reached. FP also yields the
 // equivalence relation ≅FP whose class count the paper correlates with
 // compression ratio (Fig. 11).
+//
+// Computation lives in the Refiner, whose buffers persist across
+// calls; the compressor holds one Refiner per run so per-stage
+// reordering is allocation-free in steady state. Compute is the
+// one-shot convenience wrapper.
 package order
 
 import (
 	"fmt"
-	"math/rand"
-	"slices"
-	"sort"
 
 	"graphrepair/internal/hypergraph"
 )
@@ -91,282 +93,13 @@ type Result struct {
 func (r *Result) Less(u, v hypergraph.NodeID) bool { return r.Pos[u] < r.Pos[v] }
 
 // Compute returns the requested order of g's alive nodes. The seed is
-// used only by Random.
+// used only by Random. It is the one-shot form of Refiner.Compute;
+// callers that recompute orders repeatedly (one per compression
+// stage) should hold a Refiner instead and reuse its buffers.
 func Compute(g *hypergraph.Graph, kind Kind, seed int64) *Result {
-	switch kind {
-	case Natural:
-		return fromSeq(g, g.Nodes())
-	case BFS:
-		return fromSeq(g, traverse(g, false))
-	case DFS:
-		return fromSeq(g, traverse(g, true))
-	case Random:
-		seq := g.Nodes()
-		rng := rand.New(rand.NewSource(seed))
-		rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
-		return fromSeq(g, seq)
-	case FP0:
-		return refine(g, 1)
-	case FP:
-		return refine(g, -1)
-	case DegreeDesc:
-		seq := g.Nodes()
-		sort.SliceStable(seq, func(i, j int) bool {
-			return g.Degree(seq[i]) > g.Degree(seq[j])
-		})
-		return fromSeq(g, seq)
-	case Shingle:
-		return shingleOrder(g)
-	default:
-		panic(fmt.Sprintf("order: unknown kind %d", int(kind)))
-	}
+	return NewRefiner().Compute(g, kind, seed)
 }
 
 // FPClasses returns |[≅FP]|, the number of equivalence classes of the
 // FP fixpoint relation (reported in the paper's dataset tables).
 func FPClasses(g *hypergraph.Graph) int { return Compute(g, FP, 0).Classes }
-
-func fromSeq(g *hypergraph.Graph, seq []hypergraph.NodeID) *Result {
-	r := &Result{Seq: seq, Pos: make([]int32, g.MaxNodeID()+1), Classes: len(seq)}
-	for i := range r.Pos {
-		r.Pos[i] = -1
-	}
-	for i, v := range seq {
-		r.Pos[v] = int32(i)
-	}
-	return r
-}
-
-// traverse produces a BFS (dfs=false) or DFS (dfs=true) order, using
-// the smallest unvisited node ID as the root of each component and
-// visiting neighbors in ascending ID order. The neighbor buffer is
-// reused across nodes (hypergraph.AppendNeighbors) so the traversal
-// allocates O(V), not O(V) slices.
-func traverse(g *hypergraph.Graph, dfs bool) []hypergraph.NodeID {
-	n := int(g.MaxNodeID())
-	visited := make([]bool, n+1)
-	seq := make([]hypergraph.NodeID, 0, g.NumNodes())
-	var nbs []hypergraph.NodeID
-	for _, root := range g.Nodes() {
-		if visited[root] {
-			continue
-		}
-		if dfs {
-			stack := []hypergraph.NodeID{root}
-			visited[root] = true
-			for len(stack) > 0 {
-				u := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				seq = append(seq, u)
-				nbs = g.AppendNeighbors(nbs[:0], u)
-				// Push in reverse so the smallest neighbor pops first.
-				for i := len(nbs) - 1; i >= 0; i-- {
-					if !visited[nbs[i]] {
-						visited[nbs[i]] = true
-						stack = append(stack, nbs[i])
-					}
-				}
-			}
-		} else {
-			queue := []hypergraph.NodeID{root}
-			visited[root] = true
-			for len(queue) > 0 {
-				u := queue[0]
-				queue = queue[1:]
-				seq = append(seq, u)
-				nbs = g.AppendNeighbors(nbs[:0], u)
-				for _, w := range nbs {
-					if !visited[w] {
-						visited[w] = true
-						queue = append(queue, w)
-					}
-				}
-			}
-		}
-	}
-	return seq
-}
-
-// refine runs the FP fixpoint of Sec. III-B1: c0(v) = d(v); each round
-// maps v to the tuple (c(v), sorted incident-edge signatures) and
-// relabels tuples by their lexicographic rank. maxRounds < 0 iterates
-// to the fixpoint; maxRounds = 1 yields FP0 (the plain degree order).
-//
-// The paper defines the computation for undirected unlabeled graphs
-// and notes it "can be straightforwardly extended to directed labeled
-// graphs"; our signatures include the edge label and the positions of
-// both endpoints in the attachment sequence, which specializes to
-// (label, direction) for rank-2 edges and covers hyperedges.
-//
-// All signatures live in one flat arena refilled in place each round
-// (their sizes depend only on the static graph), so the fixpoint
-// allocates O(V) once instead of O(V) slices per round — the order
-// computation sits on the compressor's per-stage hot path.
-func refine(g *hypergraph.Graph, maxRounds int) *Result {
-	nodes := g.Nodes()
-	n := len(nodes)
-	maxID := int(g.MaxNodeID())
-	color := make([]int64, maxID+1)
-
-	// Round 0: colors are degrees.
-	for _, v := range nodes {
-		color[v] = int64(g.Degree(v))
-	}
-	classes := countClasses(nodes, color)
-	rounds := 1
-
-	// Node i's signature is arena[start[i]:start[i+1]], laid out as
-	// [own color, sorted packed neighbor tuples...].
-	start := make([]int32, n+1)
-	total := 0
-	for i, v := range nodes {
-		start[i] = int32(total)
-		total++
-		for _, id := range g.Incident(v) {
-			total += len(g.Att(id)) - 1
-		}
-	}
-	start[n] = int32(total)
-	arena := make([]int64, total)
-	sig := func(i int32) []int64 { return arena[start[i]:start[i+1]] }
-	perm := make([]int32, n) // node indices sorted by signature
-	next := make([]int64, maxID+1)
-
-	for maxRounds < 0 || rounds < maxRounds {
-		for i, v := range nodes {
-			s := sig(int32(i))
-			s[0] = color[v]
-			w := 1
-			for _, id := range g.Incident(v) {
-				att := g.Att(id)
-				lab := int64(g.Label(id))
-				myPos := int64(g.AttPos(id, v))
-				for otherPos, u := range att {
-					if u == v {
-						continue
-					}
-					// Pack (label, myPos, otherPos, color(u)). Colors are
-					// class indices < n, so 32 bits suffice; labels and
-					// positions stay well below their fields.
-					s[w] = lab<<44 | myPos<<38 | int64(otherPos)<<32 | color[u]
-					w++
-				}
-			}
-			slices.Sort(s[1:])
-		}
-		for i := range perm {
-			perm[i] = int32(i)
-		}
-		slices.SortFunc(perm, func(a, b int32) int { return compareSig(sig(a), sig(b)) })
-		cls := int64(0)
-		for i, pi := range perm {
-			if i > 0 && compareSig(sig(perm[i-1]), sig(pi)) != 0 {
-				cls++
-			}
-			next[nodes[pi]] = cls
-		}
-		newClasses := int(cls) + 1
-		copy(color, next)
-		rounds++
-		if newClasses == classes {
-			break // fixpoint: refinement is monotone, equal count ⇒ stable
-		}
-		classes = newClasses
-		if rounds > n+1 { // safety net; refinement terminates in ≤ n rounds
-			break
-		}
-	}
-
-	seq := append([]hypergraph.NodeID(nil), nodes...)
-	slices.SortFunc(seq, func(a, b hypergraph.NodeID) int {
-		if color[a] != color[b] {
-			if color[a] < color[b] {
-				return -1
-			}
-			return 1
-		}
-		return int(a - b)
-	})
-	r := fromSeq(g, seq)
-	r.Classes = countClasses(nodes, color)
-	return r
-}
-
-// shingleOrder sorts nodes by a min-hash fingerprint of their labeled
-// neighborhood: nodes with similar adjacency sort near each other, so
-// the greedy digram counting sees repeated local structure in runs.
-func shingleOrder(g *hypergraph.Graph) *Result {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	hash := func(x uint64) uint64 {
-		h := uint64(offset64)
-		for i := 0; i < 8; i++ {
-			h = (h ^ (x & 0xFF)) * prime64
-			x >>= 8
-		}
-		return h
-	}
-	type fp struct {
-		v   hypergraph.NodeID
-		min uint64
-		deg int
-	}
-	fps := make([]fp, 0, g.NumNodes())
-	for _, v := range g.Nodes() {
-		best := ^uint64(0)
-		for id := range g.IncidentSeq(v) {
-			for _, u := range g.Att(id) {
-				if u == v {
-					continue
-				}
-				h := hash(uint64(uint32(u))<<32 | uint64(uint32(g.Label(id))))
-				if h < best {
-					best = h
-				}
-			}
-		}
-		fps = append(fps, fp{v: v, min: best, deg: g.Degree(v)})
-	}
-	slices.SortFunc(fps, func(a, b fp) int {
-		if a.min != b.min {
-			if a.min < b.min {
-				return -1
-			}
-			return 1
-		}
-		if a.deg != b.deg {
-			return a.deg - b.deg
-		}
-		return int(a.v - b.v)
-	})
-	seq := make([]hypergraph.NodeID, len(fps))
-	for i, f := range fps {
-		seq[i] = f.v
-	}
-	return fromSeq(g, seq)
-}
-
-// compareSig orders signatures lexicographically, shorter-is-smaller
-// on a shared prefix (the order lessSig produced before the arena
-// layout).
-func compareSig(a, b []int64) int {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			if a[i] < b[i] {
-				return -1
-			}
-			return 1
-		}
-	}
-	return len(a) - len(b)
-}
-
-func countClasses(nodes []hypergraph.NodeID, color []int64) int {
-	seen := map[int64]bool{}
-	for _, v := range nodes {
-		seen[color[v]] = true
-	}
-	return len(seen)
-}

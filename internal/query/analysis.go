@@ -41,7 +41,7 @@ func (e *Engine) skeletons() map[hypergraph.Label][][]bool {
 // skeleton edges.
 func (e *Engine) expandedAdjacency(h *hypergraph.Graph) map[hypergraph.NodeID][]hypergraph.NodeID {
 	adj := make(map[hypergraph.NodeID][]hypergraph.NodeID, h.NumNodes())
-	for _, id := range h.Edges() {
+	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
 		if e.g.IsTerminal(ed.Label) {
 			adj[ed.Att[0]] = append(adj[ed.Att[0]], ed.Att[1])
@@ -168,7 +168,7 @@ func (px *pathExpansion) canonical(key string, n hypergraph.NodeID) nodeKey {
 // nonterminal edges that are themselves expanded as child instances.
 func (px *pathExpansion) forEachEdge(yield func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID)) {
 	for _, ins := range px.instances {
-		for _, id := range ins.graph.Edges() {
+		for id := range ins.graph.EdgesSeq() {
 			if !px.e.g.IsTerminal(ins.graph.Label(id)) && px.onPath[ins.key][id] {
 				continue
 			}
@@ -272,7 +272,7 @@ func (e *Engine) ComponentCount() int64 {
 			parent[v] = v
 		}
 		var nested int64
-		for _, id := range h.Edges() {
+		for id := range h.EdgesSeq() {
 			ed := h.Edge(id)
 			if e.g.IsTerminal(ed.Label) {
 				union(ed.Att[0], ed.Att[1])
@@ -361,7 +361,7 @@ func (e *Engine) DegreeStats(dir Direction) (min, max int64, err error) {
 		}
 		var nmin, nmax int64
 		nested := false
-		for _, id := range h.Edges() {
+		for id := range h.EdgesSeq() {
 			ed := h.Edge(id)
 			if e.g.IsTerminal(ed.Label) {
 				switch dir {

@@ -54,7 +54,7 @@ type wEdge struct {
 // min-plus skeleton entries.
 func (e *Engine) expandedWeighted(h *hypergraph.Graph) map[hypergraph.NodeID][]wEdge {
 	adj := make(map[hypergraph.NodeID][]wEdge, h.NumNodes())
-	for _, id := range h.Edges() {
+	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
 		if e.g.IsTerminal(ed.Label) {
 			adj[ed.Att[0]] = append(adj[ed.Att[0]], wEdge{ed.Att[1], 1})
@@ -182,7 +182,7 @@ func (e *Engine) LabelHistogram() map[hypergraph.Label]int64 {
 	per := make(map[hypergraph.Label]map[hypergraph.Label]int64, e.g.NumRules())
 	for _, nt := range e.g.BottomUpOrder() {
 		h := make(map[hypergraph.Label]int64)
-		for _, id := range e.g.Rule(nt).Edges() {
+		for id := range e.g.Rule(nt).EdgesSeq() {
 			lab := e.g.Rule(nt).Label(id)
 			if e.g.IsTerminal(lab) {
 				h[lab]++
@@ -195,7 +195,7 @@ func (e *Engine) LabelHistogram() map[hypergraph.Label]int64 {
 		per[nt] = h
 	}
 	out := make(map[hypergraph.Label]int64)
-	for _, id := range e.g.Start.Edges() {
+	for id := range e.g.Start.EdgesSeq() {
 		lab := e.g.Start.Label(id)
 		if e.g.IsTerminal(lab) {
 			out[lab]++

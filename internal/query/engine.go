@@ -79,7 +79,7 @@ func New(g *grammar.Grammar) (*Engine, error) {
 			}
 		}
 		off := int64(len(ri.internal))
-		for _, id := range rhs.Edges() {
+		for id := range rhs.EdgesSeq() {
 			if lab := rhs.Label(id); !g.IsTerminal(lab) {
 				ri.ntEdges = append(ri.ntEdges, id)
 				ri.ntOffsets = append(ri.ntOffsets, off)
@@ -92,7 +92,7 @@ func New(g *grammar.Grammar) (*Engine, error) {
 	// Start graph: canonical order = (label, attachment) ascending,
 	// matching grammar.Derive.
 	var nts []hypergraph.EdgeID
-	for _, id := range g.Start.Edges() {
+	for id := range g.Start.EdgesSeq() {
 		if !g.IsTerminal(g.Start.Label(id)) {
 			nts = append(nts, id)
 		}

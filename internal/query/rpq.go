@@ -117,7 +117,7 @@ type prodNode struct {
 func (r *RPQ) productAdjacency(h *hypergraph.Graph) map[prodNode][]prodNode {
 	Q := r.nfa.States
 	adj := map[prodNode][]prodNode{}
-	for _, id := range h.Edges() {
+	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
 		if r.e.g.IsTerminal(ed.Label) {
 			for q := 0; q < Q; q++ {
