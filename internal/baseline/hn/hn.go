@@ -51,11 +51,11 @@ func Transform(g *hypergraph.Graph, p Params) (*Transformed, error) {
 	n := int(g.MaxNodeID())
 	adj := make(map[hypergraph.NodeID][]hypergraph.NodeID, n)
 	for _, id := range g.Edges() {
-		e := g.Edge(id)
-		if len(e.Att) != 2 {
-			return nil, fmt.Errorf("hn: edge %d has rank %d; only simple graphs supported", id, len(e.Att))
+		att := g.Att(id)
+		if len(att) != 2 {
+			return nil, fmt.Errorf("hn: edge %d has rank %d; only simple graphs supported", id, len(att))
 		}
-		adj[e.Att[0]] = append(adj[e.Att[0]], e.Att[1])
+		adj[att[0]] = append(adj[att[0]], att[1])
 	}
 	for v := range adj {
 		lst := adj[v]
@@ -277,12 +277,12 @@ func Expand(t *Transformed) *hypergraph.Graph {
 	}
 	seen := map[[2]hypergraph.NodeID]bool{}
 	for _, id := range g.Edges() {
-		e := g.Edge(id)
-		src := e.Att[0]
+		att := g.Att(id)
+		src := att[0]
 		if int(src) > t.Original {
 			continue // virtual source handled via its in-edges
 		}
-		for _, dst := range expandTargets(e.Att[1], map[hypergraph.NodeID]bool{}) {
+		for _, dst := range expandTargets(att[1], map[hypergraph.NodeID]bool{}) {
 			k := [2]hypergraph.NodeID{src, dst}
 			if !seen[k] {
 				seen[k] = true

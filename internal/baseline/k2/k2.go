@@ -26,11 +26,12 @@ type Compressed struct {
 func Compress(g *hypergraph.Graph) (*Compressed, error) {
 	pts := map[hypergraph.Label][]k2tree.Point{}
 	for _, id := range g.Edges() {
-		e := g.Edge(id)
-		if len(e.Att) != 2 {
-			return nil, fmt.Errorf("k2: edge %d has rank %d; only simple graphs supported", id, len(e.Att))
+		att := g.Att(id)
+		if len(att) != 2 {
+			return nil, fmt.Errorf("k2: edge %d has rank %d; only simple graphs supported", id, len(att))
 		}
-		pts[e.Label] = append(pts[e.Label], k2tree.Point{R: int(e.Att[0]) - 1, C: int(e.Att[1]) - 1})
+		l := g.Label(id)
+		pts[l] = append(pts[l], k2tree.Point{R: int(att[0]) - 1, C: int(att[1]) - 1})
 	}
 	c := &Compressed{NumNodes: int(g.MaxNodeID())}
 	for l := range pts {

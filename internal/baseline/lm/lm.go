@@ -48,11 +48,11 @@ func Compress(g *hypergraph.Graph, chunkSize int) (*Compressed, error) {
 	n := int(g.MaxNodeID())
 	adj := make([][]hypergraph.NodeID, n+1)
 	for _, id := range g.Edges() {
-		e := g.Edge(id)
-		if len(e.Att) != 2 {
-			return nil, fmt.Errorf("lm: edge %d has rank %d; only simple graphs supported", id, len(e.Att))
+		att := g.Att(id)
+		if len(att) != 2 {
+			return nil, fmt.Errorf("lm: edge %d has rank %d; only simple graphs supported", id, len(att))
 		}
-		adj[e.Att[0]] = append(adj[e.Att[0]], e.Att[1])
+		adj[att[0]] = append(adj[att[0]], att[1])
 	}
 
 	w := bitio.NewWriter()

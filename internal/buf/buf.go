@@ -4,6 +4,8 @@
 // large enough.
 package buf
 
+import "slices"
+
 // Grow returns a slice of length n, reusing s's backing array when it
 // is large enough. Contents are unspecified.
 func Grow[T any](s []T, n int) []T {
@@ -18,5 +20,18 @@ func Grow[T any](s []T, n int) []T {
 func GrowClear[T any](s []T, n int) []T {
 	s = Grow(s, n)
 	clear(s)
+	return s
+}
+
+// GrowFill returns a slice of length n with every element set to fill,
+// reusing s's backing array when it is large enough. Unlike Grow it
+// over-allocates on growth (append's amortization), for per-stage
+// arenas whose requested length creeps up monotonically — exact-size
+// reallocation would pay an allocation every stage.
+func GrowFill[T any](s []T, n int, fill T) []T {
+	s = slices.Grow(s[:0], n)[:n]
+	for i := range s {
+		s[i] = fill
+	}
 	return s
 }

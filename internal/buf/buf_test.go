@@ -1,0 +1,53 @@
+package buf
+
+import "testing"
+
+func TestGrow(t *testing.T) {
+	s := Grow([]int(nil), 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+	s[3] = 7
+	s2 := Grow(s, 2)
+	if len(s2) != 2 || cap(s2) < 4 {
+		t.Fatalf("shrink did not reuse backing array: len %d cap %d", len(s2), cap(s2))
+	}
+}
+
+func TestGrowClear(t *testing.T) {
+	s := []int{1, 2, 3}
+	s = GrowClear(s, 2)
+	if s[0] != 0 || s[1] != 0 {
+		t.Fatalf("not cleared: %v", s)
+	}
+}
+
+func TestGrowFill(t *testing.T) {
+	s := GrowFill([]int32(nil), 3, -1)
+	if len(s) != 3 || s[0] != -1 || s[2] != -1 {
+		t.Fatalf("fill failed: %v", s)
+	}
+	// Growth over-allocates, so a monotone creep in requested length
+	// (the per-stage MaxEdgeID pattern) does not reallocate per call.
+	s = GrowFill(s, 1000, -1)
+	n := 1000
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 100; i++ {
+			n++
+			s = GrowFill(s, n, -1)
+		}
+	})
+	if allocs > 20 {
+		t.Fatalf("monotone creep of 100 reallocated %v times; growth not amortized", allocs)
+	}
+	if nz := testing.AllocsPerRun(10, func() {
+		s = GrowFill(s, n, -1)
+	}); nz != 0 {
+		t.Fatalf("refill within capacity allocates %v/op, want 0", nz)
+	}
+	for _, v := range s {
+		if v != -1 {
+			t.Fatalf("refill missed an element: %v", s[:8])
+		}
+	}
+}

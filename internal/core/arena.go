@@ -1,0 +1,129 @@
+package core
+
+import (
+	"graphrepair/internal/buf"
+	"graphrepair/internal/hypergraph"
+)
+
+// attKey identifies a rank-2 edge exactly by its label and ordered
+// attachment. Using the full tuple as a map key (instead of the 64-bit
+// FNV digest the compressor trusted before PR 3) makes the
+// duplicate-edge veto collision-free: two distinct (label, attachment)
+// pairs can never be conflated, so a legal replacement is never
+// mis-vetoed (DESIGN.md §8).
+type attKey struct {
+	label    hypergraph.Label
+	src, dst hypergraph.NodeID
+}
+
+// edgeInterner maps each distinct rank-2 (label, attachment) to a
+// dense ID and counts the alive edges per ID. The compressor stores
+// the interned ID per edge, so removing an edge decrements its count
+// without recomputing (or hashing) the key — the per-replacement FNV
+// hashing of the pre-PR-3 edgeSet is gone entirely. Only rank-2 edges
+// are interned: the duplicate veto exists because rank-2 edges are
+// encoded as adjacency matrices (which cannot represent parallel
+// edges, DESIGN.md §5.4); hyperedges of other ranks live in incidence
+// matrices where parallel edges are fine.
+type edgeInterner struct {
+	ids    map[attKey]int32
+	counts []int32 // alive edges per interned ID
+}
+
+func (t *edgeInterner) init(sizeHint int) {
+	t.ids = make(map[attKey]int32, sizeHint)
+	t.counts = t.counts[:0]
+}
+
+// intern returns the dense ID of (label, src→dst), allocating the next
+// ID on first sight. Interned IDs are stable for the life of the
+// compressor.
+func (t *edgeInterner) intern(label hypergraph.Label, src, dst hypergraph.NodeID) int32 {
+	k := attKey{label: label, src: src, dst: dst}
+	id, ok := t.ids[k]
+	if !ok {
+		id = int32(len(t.counts))
+		t.counts = append(t.counts, 0)
+		t.ids[k] = id
+	}
+	return id
+}
+
+// noEntry is the sentinel chain link / per-edge slot for "none".
+const noEntry int32 = -1
+
+// occEntry is one link of an edge's occurrence chain: the occurrence
+// the edge joined and the hash of its digram key (the used-set marker
+// guaranteeing non-overlapping occurrence lists, Sec. III-C1).
+type occEntry struct {
+	h    uint64 // digram key hash (used-set marker)
+	oi   int32  // occPool index
+	next int32  // next entry of the same edge, or noEntry
+}
+
+// edgeOccs holds the per-edge occurrence lists and used-key sets of a
+// stage in one shared arena: entries of all edges live in a single
+// pool, chained per edge in insertion order via head/tail slots.
+// Appending never allocates once the pool is at capacity — the
+// per-edge first-append allocations of the PR-2 layout (markUsed ~43%
+// and addOcc ~8% of objects on rdf-types-ru) collapse into the pool's
+// amortized growth (DESIGN.md §8). Iteration order is identical to the
+// old slice-of-slices layout, which the replacement loop's determinism
+// depends on.
+type edgeOccs struct {
+	pool []occEntry
+	head []int32 // per edge: first chain entry, or noEntry
+	tail []int32 // per edge: last chain entry, or noEntry
+}
+
+// reset prepares the arena for a stage over edges 0..n-1, keeping the
+// pool's backing array.
+func (s *edgeOccs) reset(n int) {
+	s.pool = s.pool[:0]
+	s.head = buf.GrowFill(s.head, n, noEntry)
+	s.tail = buf.GrowFill(s.tail, n, noEntry)
+}
+
+// grow extends the per-edge slots to n edges (after AddEdge).
+func (s *edgeOccs) grow(n int) {
+	s.head = growNeg(s.head, n)
+	s.tail = growNeg(s.tail, n)
+}
+
+// add appends (h, oi) to edge e's chain.
+func (s *edgeOccs) add(e hypergraph.EdgeID, h uint64, oi int32) {
+	i := int32(len(s.pool))
+	s.pool = append(s.pool, occEntry{h: h, oi: oi, next: noEntry})
+	if t := s.tail[e]; t >= 0 {
+		s.pool[t].next = i
+	} else {
+		s.head[e] = i
+	}
+	s.tail[e] = i
+}
+
+// keyUsed reports whether edge e already joined an occurrence of the
+// digram hashed h. Chains are tiny (one entry per digram the edge
+// joined), so the linear scan beats any set.
+func (s *edgeOccs) keyUsed(e hypergraph.EdgeID, h uint64) bool {
+	for i := s.head[e]; i >= 0; i = s.pool[i].next {
+		if s.pool[i].h == h {
+			return true
+		}
+	}
+	return false
+}
+
+// clear drops edge e's chain (entries stay in the pool until the next
+// stage reset; e is about to be removed from the graph).
+func (s *edgeOccs) clear(e hypergraph.EdgeID) {
+	s.head[e], s.tail[e] = noEntry, noEntry
+}
+
+// growNeg extends s to n entries, filling new slots with noEntry.
+func growNeg(s []int32, n int) []int32 {
+	for len(s) < n {
+		s = append(s, noEntry)
+	}
+	return s
+}

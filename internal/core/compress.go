@@ -83,14 +83,14 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 		return nil, fmt.Errorf("core: MaxRank %d out of range 1..%d", opts.MaxRank, MaxSupportedRank)
 	}
 	for id := range g.EdgesSeq() {
-		e := g.Edge(id)
-		if e.Label < 1 || e.Label > terminals {
+		lab, att := g.Label(id), g.Att(id)
+		if lab < 1 || lab > terminals {
 			return nil, fmt.Errorf("core: edge %d (%s) has label %d outside the terminal alphabet 1..%d",
-				id, describeEdge(e), e.Label, terminals)
+				id, describeEdge(lab, att), lab, terminals)
 		}
-		if len(e.Att) != 2 {
+		if len(att) != 2 {
 			return nil, fmt.Errorf("core: edge %d (%s) has rank %d; input must be a simple graph of rank-2 edges",
-				id, describeEdge(e), len(e.Att))
+				id, describeEdge(lab, att), len(att))
 		}
 	}
 
@@ -110,7 +110,10 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 		if comps := c.g.WeakComponents(); len(comps) > 1 {
 			for i := 0; i+1 < len(comps); i++ {
 				id := c.g.AddEdge(virtualLabel, comps[i][0], comps[i+1][0])
-				c.edgeSet[hypergraph.EdgeKey(virtualLabel, c.g.Att(id))]++
+				c.growEdgeState()
+				iid := c.eset.intern(virtualLabel, comps[i][0], comps[i+1][0])
+				c.eset.counts[iid]++
+				c.edgeIID[id] = iid
 				c.stats.VirtualEdges++
 			}
 			c.runToFixpoint()
@@ -131,11 +134,11 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 // describeEdge renders an edge's label and attachment for error
 // messages, so callers can locate the offending input edge without
 // knowing internal edge IDs.
-func describeEdge(e *hypergraph.Edge) string {
-	if len(e.Att) == 2 {
-		return fmt.Sprintf("label %d, %d -> %d", e.Label, e.Att[0], e.Att[1])
+func describeEdge(label hypergraph.Label, att []hypergraph.NodeID) string {
+	if len(att) == 2 {
+		return fmt.Sprintf("label %d, %d -> %d", label, att[0], att[1])
 	}
-	return fmt.Sprintf("label %d, attachment %v", e.Label, e.Att)
+	return fmt.Sprintf("label %d, attachment %v", label, att)
 }
 
 // newCompressor clones the input and allocates the stage state that is
@@ -150,10 +153,16 @@ func newCompressor(g *hypergraph.Graph, terminals hypergraph.Label, opts Options
 		ranks:   make(map[hypergraph.Label]int),
 	}
 	c.gram.Start = c.g
-	c.edgeSet = make(map[uint64]int, c.g.NumEdges())
+	// Intern every input edge exactly. The clone is compacted, so edge
+	// IDs are dense and all edges alive (and rank 2, validated by
+	// Compress).
+	c.eset.init(c.g.NumEdges())
+	c.edgeIID = growNeg(c.edgeIID, int(c.g.MaxEdgeID()))
 	for id := range c.g.EdgesSeq() {
-		e := c.g.Edge(id)
-		c.edgeSet[hypergraph.EdgeKey(e.Label, e.Att)]++
+		att := c.g.Att(id)
+		iid := c.eset.intern(c.g.Label(id), att[0], att[1])
+		c.eset.counts[iid]++
+		c.edgeIID[id] = iid
 	}
 	// The compressor only ever adds edges, never nodes, so per-node
 	// state can live in flat arrays indexed by NodeID.
@@ -161,63 +170,57 @@ func newCompressor(g *hypergraph.Graph, terminals hypergraph.Label, opts Options
 	return c
 }
 
+// availEntry is one link of an availability chain in the shared arena.
+type availEntry struct {
+	id   hypergraph.EdgeID
+	next int32
+}
+
+// availGroup is one effLabel group of a node's availability: the key
+// and the arena index of the chain's top entry (noEntry when drained).
+type availGroup struct {
+	l    effLabel
+	head int32
+}
+
 // availability is the per-node structure backing constant-time pairing
-// of new nonterminal edges (Sec. III-C1): for every effLabel a stack
-// of candidate edges. Entries are popped at most once; dead or blocked
-// candidates are discarded, which keeps the total pairing work linear
-// in the node's degree across all replacements. keys and stacks are
-// parallel (keys sorted ascending); reset truncates both but keeps
-// every stack's backing array for the next stage.
+// of new nonterminal edges (Sec. III-C1): for every effLabel a LIFO
+// chain of candidate edges, linked through the compressor's shared
+// arena so pushing a candidate never allocates (DESIGN.md §8).
+// Entries are popped at most once; dead or blocked candidates are
+// discarded, which keeps the total pairing work linear in the node's
+// degree across all replacements. groups are sorted ascending by key;
+// reset truncates the slice but keeps its backing array for the next
+// stage. Chain push/pop at the head reproduces the pop order of the
+// pre-PR-3 per-group slices exactly.
 type availability struct {
 	built  bool
-	keys   []effLabel
-	stacks [][]hypergraph.EdgeID
+	groups []availGroup
 }
 
 func (a *availability) reset() {
 	a.built = false
-	a.keys = a.keys[:0]
-	for i := range a.stacks {
-		a.stacks[i] = a.stacks[i][:0]
-	}
-	a.stacks = a.stacks[:0]
-}
-
-// addGroup appends a group for key l (which must sort after every
-// existing key) and returns its stack, reviving a truncated slot's
-// backing array when one is available.
-func (a *availability) addGroup(l effLabel) *[]hypergraph.EdgeID {
-	a.keys = append(a.keys, l)
-	if len(a.stacks) < cap(a.stacks) {
-		a.stacks = a.stacks[:len(a.stacks)+1]
-		s := &a.stacks[len(a.stacks)-1]
-		*s = (*s)[:0]
-		return s
-	}
-	a.stacks = append(a.stacks, nil)
-	return &a.stacks[len(a.stacks)-1]
+	a.groups = a.groups[:0]
 }
 
 // push makes edge id available under key l, inserting a new group in
 // sorted position if needed.
-func (a *availability) push(l effLabel, id hypergraph.EdgeID) {
-	i := sort.Search(len(a.keys), func(i int) bool { return a.keys[i] >= l })
-	if i < len(a.keys) && a.keys[i] == l {
-		a.stacks[i] = append(a.stacks[i], id)
+func (a *availability) push(ar *[]availEntry, l effLabel, id hypergraph.EdgeID) {
+	i := sort.Search(len(a.groups), func(i int) bool { return a.groups[i].l >= l })
+	if i < len(a.groups) && a.groups[i].l == l {
+		a.groups[i].head = pushAvail(ar, a.groups[i].head, id)
 		return
 	}
-	var spare []hypergraph.EdgeID
-	if len(a.stacks) < cap(a.stacks) {
-		a.stacks = a.stacks[:len(a.stacks)+1]
-		spare = a.stacks[len(a.stacks)-1][:0]
-	} else {
-		a.stacks = append(a.stacks, nil)
-	}
-	a.keys = append(a.keys, 0)
-	copy(a.keys[i+1:], a.keys[i:])
-	a.keys[i] = l
-	copy(a.stacks[i+1:], a.stacks[i:])
-	a.stacks[i] = append(spare, id)
+	a.groups = append(a.groups, availGroup{})
+	copy(a.groups[i+1:], a.groups[i:])
+	a.groups[i] = availGroup{l: l, head: pushAvail(ar, noEntry, id)}
+}
+
+// pushAvail prepends id to the chain starting at head and returns the
+// new head.
+func pushAvail(ar *[]availEntry, head int32, id hypergraph.EdgeID) int32 {
+	*ar = append(*ar, availEntry{id: id, next: head})
+	return int32(len(*ar) - 1)
 }
 
 // incEntry is one incident edge tagged with its effLabel and its
@@ -249,20 +252,21 @@ type compressor struct {
 	// occPool is the arena behind all occurrence references.
 	occPool []occurrence
 	pq      bucketQueue
-	// occsOf lists the occurrences containing each edge (indexed by
-	// edge ID; grows as nonterminal edges are created).
-	occsOf [][]int32
-	// used holds, per edge, the hashed digram keys the edge already
-	// joined an occurrence of — guaranteeing each digram's occurrence
-	// list is non-overlapping. The inner slices are tiny (one entry
-	// per digram the edge joined), so a linear scan beats a set.
-	used [][]uint64
-	// edgeSet counts alive edges by (label, attachment) hash, to veto
-	// duplicate-creating replacements.
-	edgeSet map[uint64]int
-	// avail holds lazily built per-node pairing stacks, indexed by
-	// NodeID (the node ID space is fixed for the whole run).
-	avail []availability
+	// occs holds every edge's occurrence list and used-key set in one
+	// shared per-stage arena (chained entries, insertion order
+	// preserved; see edgeOccs).
+	occs edgeOccs
+	// eset interns alive rank-2 edges by exact (label, attachment) to
+	// veto duplicate-creating replacements; edgeIID records each
+	// edge's interned ID (noEntry for non-rank-2 edges) so removal
+	// decrements without rehashing.
+	eset    edgeInterner
+	edgeIID []int32
+	// avail holds lazily built per-node pairing chains, indexed by
+	// NodeID (the node ID space is fixed for the whole run); the chain
+	// entries of all nodes live in availPool, reset per stage.
+	avail     []availability
+	availPool []availEntry
 
 	ranks map[hypergraph.Label]int // ranks of created nonterminals
 	stats Stats
@@ -290,20 +294,6 @@ func (c *compressor) runToFixpoint() {
 	}
 }
 
-// growNested extends a slice-of-slices to n outer entries, reviving
-// the backing arrays of previously truncated slots.
-func growNested[T any](s [][]T, n int) [][]T {
-	for len(s) < n {
-		if len(s) < cap(s) {
-			s = s[:len(s)+1]
-			s[len(s)-1] = s[len(s)-1][:0]
-		} else {
-			s = append(s, nil)
-		}
-	}
-	return s
-}
-
 // stageInit resets every piece of stage state for a fresh occurrence
 // count, reusing all arenas and scratch from previous stages, and
 // computes the node order.
@@ -312,15 +302,8 @@ func (c *compressor) stageInit() {
 	c.digramPool = c.digramPool[:0]
 	c.occPool = c.occPool[:0]
 	c.pq.reset(c.g.NumEdges())
-	n := int(c.g.MaxEdgeID())
-	c.occsOf = growNested(c.occsOf, n)
-	for i := range c.occsOf {
-		c.occsOf[i] = c.occsOf[i][:0]
-	}
-	c.used = growNested(c.used, n)
-	for i := range c.used {
-		c.used[i] = c.used[i][:0]
-	}
+	c.occs.reset(int(c.g.MaxEdgeID()))
+	c.availPool = c.availPool[:0]
 	for i := range c.avail {
 		c.avail[i].reset()
 	}
@@ -434,7 +417,7 @@ func (c *compressor) tryCount(u hypergraph.NodeID, x, y hypergraph.EdgeID) int32
 		}
 	}
 	h := co.key.hash()
-	if c.keyUsed(x, h) || c.keyUsed(y, h) {
+	if c.occs.keyUsed(x, h) || c.occs.keyUsed(y, h) {
 		return noDigram
 	}
 
@@ -452,36 +435,17 @@ func (c *compressor) tryCount(u hypergraph.NodeID, x, y hypergraph.EdgeID) int32
 	c.occPool = append(c.occPool, occurrence{e1: int32(x), e2: int32(y), dig: di})
 	d.occs = append(d.occs, oi)
 	d.count++
-	c.addOcc(x, oi)
-	c.addOcc(y, oi)
-	c.markUsed(x, h)
-	c.markUsed(y, h)
+	c.occs.add(x, h, oi)
+	c.occs.add(y, h, oi)
 	return di
-}
-
-func (c *compressor) addOcc(e hypergraph.EdgeID, oi int32) {
-	c.occsOf[e] = append(c.occsOf[e], oi)
-}
-
-func (c *compressor) keyUsed(e hypergraph.EdgeID, h uint64) bool {
-	for _, x := range c.used[e] {
-		if x == h {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *compressor) markUsed(e hypergraph.EdgeID, h uint64) {
-	c.used[e] = append(c.used[e], h)
 }
 
 // growEdgeState extends the per-edge tables after a new edge was
 // added to the graph.
 func (c *compressor) growEdgeState() {
 	n := int(c.g.MaxEdgeID())
-	c.occsOf = growNested(c.occsOf, n)
-	c.used = growNested(c.used, n)
+	c.occs.grow(n)
+	c.edgeIID = growNeg(c.edgeIID, n)
 }
 
 // replaceDigram performs steps 4–6 for the selected digram: creates a
@@ -531,25 +495,33 @@ func (c *compressor) replaceDigram(di int32) {
 		// which cannot represent parallel edges, so a replacement that
 		// would duplicate an existing (label, source, target) edge is
 		// skipped. Edges of other ranks live in incidence matrices
-		// (one column per edge) where parallel edges are fine.
-		ek := hypergraph.EdgeKey(nt, c.attBuf)
-		if len(c.attBuf) == 2 && c.edgeSet[ek] > 0 {
-			c.stats.SkippedDuplicates++
-			continue
+		// (one column per edge) where parallel edges are fine. The
+		// interned count is exact: only a true duplicate vetoes, never
+		// a hash collision.
+		iid := noEntry
+		if len(c.attBuf) == 2 {
+			iid = c.eset.intern(nt, c.attBuf[0], c.attBuf[1])
+			if c.eset.counts[iid] > 0 {
+				c.stats.SkippedDuplicates++
+				continue
+			}
 		}
-		c.replaceOccurrence(oi, co, nt, ek)
+		c.replaceOccurrence(oi, co, nt, iid)
 	}
 }
 
 // replaceOccurrence removes the two occurrence edges and the internal
 // nodes, inserts the nonterminal edge, and updates occurrence lists.
-// The caller must have filled attBuf with co's attachment nodes.
-func (c *compressor) replaceOccurrence(oi int32, co *canonOcc, nt hypergraph.Label, ek uint64) {
+// The caller must have filled attBuf with co's attachment nodes and
+// pass the interned ID of the new edge's (label, attachment), or
+// noEntry for a non-rank-2 edge.
+func (c *compressor) replaceOccurrence(oi int32, co *canonOcc, nt hypergraph.Label, iid int32) {
 	g := c.g
 	o := c.occPool[oi]
 	for _, e := range [2]hypergraph.EdgeID{hypergraph.EdgeID(o.e1), hypergraph.EdgeID(o.e2)} {
 		// Invalidate every other occurrence using e.
-		for _, otherI := range c.occsOf[e] {
+		for i := c.occs.head[e]; i >= 0; i = c.occs.pool[i].next {
+			otherI := c.occs.pool[i].oi
 			if otherI == oi {
 				continue
 			}
@@ -561,8 +533,10 @@ func (c *compressor) replaceOccurrence(oi int32, co *canonOcc, nt hypergraph.Lab
 			c.digramPool[other.dig].count--
 			c.pq.update(c.digramPool, other.dig)
 		}
-		c.occsOf[e] = c.occsOf[e][:0]
-		c.edgeSet[hypergraph.EdgeKey(g.Label(e), g.Att(e))]--
+		c.occs.clear(e)
+		if j := c.edgeIID[e]; j >= 0 {
+			c.eset.counts[j]--
+		}
 		g.RemoveEdge(e)
 	}
 	c.occPool[oi].dead = true
@@ -576,7 +550,10 @@ func (c *compressor) replaceOccurrence(oi int32, co *canonOcc, nt hypergraph.Lab
 
 	id := g.AddEdge(nt, c.attBuf...)
 	c.growEdgeState()
-	c.edgeSet[ek]++
+	c.edgeIID[id] = iid
+	if iid >= 0 {
+		c.eset.counts[iid]++
+	}
 	c.stats.Replacements++
 
 	// Step 6: pair the new edge with one available neighbor per
@@ -587,14 +564,14 @@ func (c *compressor) replaceOccurrence(oi int32, co *canonOcc, nt hypergraph.Lab
 	// Make the new edge available for future pairings.
 	for pos, v := range c.attBuf {
 		if c.avail[v].built {
-			c.avail[v].push(makeEffLabel(nt, pos), id)
+			c.avail[v].push(&c.availPool, makeEffLabel(nt, pos), id)
 		}
 	}
 }
 
 // pairNewEdge pairs nonterminal edge id with at most one candidate per
 // effLabel group at node v, popping candidates from the availability
-// stacks (each edge is offered at most once per node and group, which
+// chains (each edge is offered at most once per node and group, which
 // bounds total pairing work by the node degree).
 func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
 	a := &c.avail[v]
@@ -607,18 +584,21 @@ func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
 			if s == e {
 				continue
 			}
-			st := a.addGroup(c.incBuf[s].l)
-			// Reverse so that pop order follows incidence order.
+			// groupIncident emits groups in ascending key order, so each
+			// group appends after every existing key.
+			head := noEntry
+			// Chain in reverse so that pop order follows incidence order.
 			for m := e - 1; m >= s; m-- {
-				*st = append(*st, c.incBuf[m].id)
+				head = pushAvail(&c.availPool, head, c.incBuf[m].id)
 			}
+			a.groups = append(a.groups, availGroup{l: c.incBuf[s].l, head: head})
 		}
 	}
-	for ki := 0; ki < len(a.keys); ki++ {
-		stack := a.stacks[ki]
-		for len(stack) > 0 {
-			f := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
+	for ki := 0; ki < len(a.groups); ki++ {
+		h := a.groups[ki].head
+		for h >= 0 {
+			f := c.availPool[h].id
+			h = c.availPool[h].next
 			if f == id || !c.g.HasEdge(f) {
 				continue
 			}
@@ -627,7 +607,7 @@ func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
 				break
 			}
 		}
-		a.stacks[ki] = stack
+		a.groups[ki].head = h
 	}
 }
 

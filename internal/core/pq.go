@@ -56,8 +56,13 @@ type bucketQueue struct {
 	hi      int // highest bucket that may be non-empty
 }
 
-// reset sizes the queue for a stage over numEdges edges, reusing every
-// bucket's backing array.
+// reset sizes the queue for a stage over numEdges edges. Each bucket
+// is truncated in place, never reallocated smaller: a bucket's
+// backing array persists per index across stages, so its capacity is
+// exactly the high-water entry count any earlier stage reached — the
+// pre-sizing falls out structurally, and within-stage appends never
+// regrow a bucket a previous stage already proved needs the room
+// (pinned by TestBucketQueueKeepsCapacity).
 func (q *bucketQueue) reset(numEdges int) {
 	b := 2
 	for b*b < numEdges {

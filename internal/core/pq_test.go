@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand"
 	"testing"
+
+	"graphrepair/internal/hypergraph"
 )
 
 // qfix bundles a bucket queue with the digram pool its indices point
@@ -163,5 +165,44 @@ func TestBucketQueueModelProperty(t *testing.T) {
 			}
 			f.d(got).retired = true
 		}
+	}
+}
+
+// TestBucketQueueKeepsCapacity pins the structural pre-sizing
+// invariant reset documents: bucket backing arrays persist per index
+// across stages, so a bucket's capacity is the high-water entry count
+// any earlier stage reached and refilling to that level after a reset
+// allocates nothing.
+func TestBucketQueueKeepsCapacity(t *testing.T) {
+	var q bucketQueue
+	var pool []digramInfo
+	const n = 200
+	for i := 0; i < n; i++ {
+		pool = appendDigram(pool, digramKey{la: 1, lb: hypergraph.Label(i + 2)})
+		pool[i].count = 2
+	}
+	q.reset(9) // b = 3: all count-2 digrams land in bucket 2
+	for i := range pool {
+		q.update(pool, int32(i))
+	}
+	want := cap(q.buckets[2])
+	if want < n {
+		t.Fatalf("bucket 2 cap %d after %d updates", want, n)
+	}
+	q.reset(9)
+	if got := cap(q.buckets[2]); got != want {
+		t.Fatalf("reset changed bucket capacity %d -> %d; high-water reuse lost", want, got)
+	}
+	for i := range pool {
+		pool[i].queuedAt = -1
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		q.reset(9)
+		for i := range pool {
+			pool[i].queuedAt = -1
+			q.update(pool, int32(i))
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm reset+refill allocates %v/op, want 0", allocs)
 	}
 }

@@ -125,12 +125,12 @@ func Normalize(g *grammar.Grammar) {
 		}
 		fresh := hypergraph.New(rhs.NumNodes())
 		for _, id := range rhs.Edges() {
-			e := rhs.Edge(id)
-			att := make([]hypergraph.NodeID, len(e.Att))
-			for i, v := range e.Att {
+			src := rhs.Att(id)
+			att := make([]hypergraph.NodeID, len(src))
+			for i, v := range src {
 				att[i] = remap[v]
 			}
-			fresh.AddEdge(e.Label, att...)
+			fresh.AddEdge(rhs.Label(id), att...)
 		}
 		ext := make([]hypergraph.NodeID, rhs.Rank())
 		for i := range ext {
@@ -149,18 +149,19 @@ func encodeRule(w *bitio.Writer, g *grammar.Grammar, rhs *hypergraph.Graph) {
 	w.WriteDelta(uint64(rhs.Rank()))
 	w.WriteDelta0(uint64(rhs.NumEdges()))
 	for _, id := range rhs.Edges() {
-		e := rhs.Edge(id)
-		terminal := g.IsTerminal(e.Label)
+		lab := rhs.Label(id)
+		att := rhs.Att(id)
+		terminal := g.IsTerminal(lab)
 		w.WriteBool(!terminal) // 0 = terminal, as in the paper's example
-		w.WriteDelta(uint64(len(e.Att)))
-		for _, v := range e.Att {
+		w.WriteDelta(uint64(len(att)))
+		for _, v := range att {
 			w.WriteBool(rhs.IsExternal(v)) // external marker bit
 			w.WriteDelta(uint64(v))
 		}
 		if terminal {
-			w.WriteDelta(uint64(e.Label))
+			w.WriteDelta(uint64(lab))
 		} else {
-			w.WriteDelta(uint64(e.Label - g.Terminals))
+			w.WriteDelta(uint64(lab - g.Terminals))
 		}
 	}
 }

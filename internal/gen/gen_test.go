@@ -39,17 +39,17 @@ func TestAllDatasetsGenerateAtTestScale(t *testing.T) {
 		// and the adjacency-matrix encoders.
 		seen := map[hypergraph.Triple]bool{}
 		for _, id := range g.Edges() {
-			e := g.Edge(id)
-			if len(e.Att) != 2 {
-				t.Fatalf("%s: edge rank %d", name, len(e.Att))
+			att, lab := g.Att(id), g.Label(id)
+			if len(att) != 2 {
+				t.Fatalf("%s: edge rank %d", name, len(att))
 			}
-			if e.Att[0] == e.Att[1] {
+			if att[0] == att[1] {
 				t.Fatalf("%s: self-loop", name)
 			}
-			if e.Label < 1 || e.Label > d.Labels {
-				t.Fatalf("%s: label %d outside 1..%d", name, e.Label, d.Labels)
+			if lab < 1 || lab > d.Labels {
+				t.Fatalf("%s: label %d outside 1..%d", name, lab, d.Labels)
 			}
-			tr := hypergraph.Triple{Src: e.Att[0], Dst: e.Att[1], Label: e.Label}
+			tr := hypergraph.Triple{Src: att[0], Dst: att[1], Label: lab}
 			if seen[tr] {
 				t.Fatalf("%s: duplicate edge %v", name, tr)
 			}
@@ -134,17 +134,17 @@ func TestCoauthorshipSymmetricAndClustered(t *testing.T) {
 	g := Coauthorship(500, 4000, 5, 9)
 	// Both directions of each collaboration must exist.
 	for _, id := range g.Edges() {
-		e := g.Edge(id)
+		att := g.Att(id)
 		found := false
-		for _, id2 := range g.Incident(e.Att[1]) {
-			e2 := g.Edge(id2)
-			if e2.Att[0] == e.Att[1] && e2.Att[1] == e.Att[0] {
+		for _, id2 := range g.Incident(att[1]) {
+			att2 := g.Att(id2)
+			if att2[0] == att[1] && att2[1] == att[0] {
 				found = true
 				break
 			}
 		}
 		if !found {
-			t.Fatalf("edge %v has no reverse", e)
+			t.Fatalf("edge %d (%v) has no reverse", id, att)
 		}
 	}
 }

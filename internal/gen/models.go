@@ -308,12 +308,12 @@ func DisjointUnion(graphs ...*hypergraph.Graph) *hypergraph.Graph {
 	off := hypergraph.NodeID(0)
 	for _, g := range graphs {
 		for _, id := range g.Edges() {
-			e := g.Edge(id)
-			att := make([]hypergraph.NodeID, len(e.Att))
-			for i, v := range e.Att {
+			src := g.Att(id)
+			att := make([]hypergraph.NodeID, len(src))
+			for i, v := range src {
 				att[i] = v + off
 			}
-			out.AddEdge(e.Label, att...)
+			out.AddEdge(g.Label(id), att...)
 		}
 		off += g.MaxNodeID()
 	}

@@ -103,47 +103,47 @@ func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
 			}
 		}
 		for id := range rhs.EdgesSeq() {
-			e := rhs.Edge(id)
-			if g.IsTerminal(e.Label) {
-				mapped := make([]hypergraph.NodeID, len(e.Att))
-				for i, v := range e.Att {
+			if lab := rhs.Label(id); g.IsTerminal(lab) {
+				att := rhs.Att(id)
+				mapped := make([]hypergraph.NodeID, len(att))
+				for i, v := range att {
 					mapped[i] = m[v]
 				}
-				out.AddEdge(e.Label, mapped...)
+				out.AddEdge(lab, mapped...)
 			}
 		}
 		// Nested nonterminals in ascending rule-edge order.
 		for id := range rhs.EdgesSeq() {
-			e := rhs.Edge(id)
-			if !g.IsTerminal(e.Label) {
-				mapped := make([]hypergraph.NodeID, len(e.Att))
-				for i, v := range e.Att {
+			if lab := rhs.Label(id); !g.IsTerminal(lab) {
+				att := rhs.Att(id)
+				mapped := make([]hypergraph.NodeID, len(att))
+				for i, v := range att {
 					mapped[i] = m[v]
 				}
-				expand(e.Label, mapped)
+				expand(lab, mapped)
 			}
 		}
 	}
 
 	// Terminal edges of the start graph first, in ascending edge order.
 	for id := range g.Start.EdgesSeq() {
-		e := g.Start.Edge(id)
-		if g.IsTerminal(e.Label) {
-			mapped := make([]hypergraph.NodeID, len(e.Att))
-			for i, v := range e.Att {
+		if lab := g.Start.Label(id); g.IsTerminal(lab) {
+			att := g.Start.Att(id)
+			mapped := make([]hypergraph.NodeID, len(att))
+			for i, v := range att {
 				mapped[i] = sMap[v]
 			}
-			out.AddEdge(e.Label, mapped...)
+			out.AddEdge(lab, mapped...)
 		}
 	}
 	// Then nonterminal edges in canonical (label, attachment) order.
 	for _, id := range g.sortedNTEdges(g.Start) {
-		e := g.Start.Edge(id)
-		mapped := make([]hypergraph.NodeID, len(e.Att))
-		for i, v := range e.Att {
+		att := g.Start.Att(id)
+		mapped := make([]hypergraph.NodeID, len(att))
+		for i, v := range att {
 			mapped[i] = sMap[v]
 		}
-		expand(e.Label, mapped)
+		expand(g.Start.Label(id), mapped)
 	}
 	return out, nil
 }
@@ -176,7 +176,7 @@ func (g *Grammar) Inline(h *hypergraph.Graph, id hypergraph.EdgeID) []hypergraph
 		panic(fmt.Sprintf("grammar: Inline: label %d has no rule", e.Label))
 	}
 	s := g.scr()
-	s.att = append(s.att[:0], e.Att...)
+	s.att = append(s.att[:0], h.Att(id)...)
 	h.RemoveEdge(id)
 	// m maps rule nodes to host nodes; flat, indexed by rule NodeID.
 	// Zero (an invalid host ID) marks unmapped slots, so stale entries
@@ -193,13 +193,12 @@ func (g *Grammar) Inline(h *hypergraph.Graph, id hypergraph.EdgeID) []hypergraph
 	}
 	added := s.added[:0]
 	for rid := range rhs.EdgesSeq() {
-		re := rhs.Edge(rid)
 		mapped := s.mapped[:0]
-		for _, v := range re.Att {
+		for _, v := range rhs.Att(rid) {
 			mapped = append(mapped, m[v])
 		}
 		s.mapped = mapped
-		added = append(added, h.AddEdge(re.Label, mapped...))
+		added = append(added, h.AddEdge(rhs.Label(rid), mapped...))
 	}
 	s.added = added
 	return added

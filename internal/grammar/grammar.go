@@ -160,9 +160,9 @@ func (g *Grammar) Validate() error {
 				}
 				want = r.Rank()
 			}
-			if len(e.Att) != want {
+			if e.Rank() != want {
 				return fmt.Errorf("grammar: %s: edge %d labeled %d has rank %d, want %d",
-					what, id, e.Label, len(e.Att), want)
+					what, id, e.Label, e.Rank(), want)
 			}
 		}
 		return nil
@@ -300,16 +300,16 @@ func (g *Grammar) sortedNTEdges(h *hypergraph.Graph) []hypergraph.EdgeID {
 		}
 	}
 	sort.Slice(nts, func(i, j int) bool {
-		a, b := h.Edge(nts[i]), h.Edge(nts[j])
-		if a.Label != b.Label {
-			return a.Label < b.Label
+		if la, lb := h.Label(nts[i]), h.Label(nts[j]); la != lb {
+			return la < lb
 		}
-		for k := 0; k < len(a.Att) && k < len(b.Att); k++ {
-			if a.Att[k] != b.Att[k] {
-				return a.Att[k] < b.Att[k]
+		a, b := h.Att(nts[i]), h.Att(nts[j])
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
 			}
 		}
-		return len(a.Att) < len(b.Att)
+		return len(a) < len(b)
 	})
 	return nts
 }

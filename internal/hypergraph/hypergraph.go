@@ -35,21 +35,25 @@ const NoEdge EdgeID = -1
 // above T. Label 0 is reserved (used internally for virtual edges).
 type Label int32
 
-// Edge is a labeled hyperedge. Att holds the attachment sequence; its
-// length is the edge's rank. The paper's restriction (1) applies: Att
+// Edge is a labeled hyperedge. Its attachment sequence lives in the
+// owning graph's attachment arena as an (offset, rank) view — read it
+// with Graph.Att — so adding an edge never allocates a per-edge slice
+// (DESIGN.md §8). The paper's restriction (1) applies: an attachment
 // contains no node twice.
 type Edge struct {
 	Label Label
-	Att   []NodeID
+	off   int32 // offset of the attachment in the graph's arena
+	rank  int32 // number of attached nodes
 }
 
 // Rank returns the number of attached nodes.
-func (e *Edge) Rank() int { return len(e.Att) }
+func (e *Edge) Rank() int { return int(e.rank) }
 
 // Graph is a mutable hypergraph. Nodes and edges are removed by
 // tombstoning; incidence lists are compacted lazily.
 type Graph struct {
 	edges     []Edge
+	att       []NodeID // attachment arena, indexed by Edge.off/rank
 	edgeAlive []bool
 	numEdges  int // alive edges
 
@@ -114,7 +118,9 @@ func (g *Graph) AddNode() NodeID {
 
 // AddEdge inserts a hyperedge with the given label and attachment
 // sequence and returns its ID. It panics if an attachment node is dead
-// or repeated (paper restriction (1) excludes self-loops).
+// or repeated (paper restriction (1) excludes self-loops). The
+// attachment is copied into the graph's arena, so on warm capacity
+// (see Reserve) the call allocates nothing beyond incidence growth.
 func (g *Graph) AddEdge(label Label, att ...NodeID) EdgeID {
 	for i, v := range att {
 		if !g.HasNode(v) {
@@ -127,13 +133,25 @@ func (g *Graph) AddEdge(label Label, att ...NodeID) EdgeID {
 		}
 	}
 	id := EdgeID(len(g.edges))
-	g.edges = append(g.edges, Edge{Label: label, Att: append([]NodeID(nil), att...)})
+	off := int32(len(g.att))
+	g.att = append(g.att, att...)
+	g.edges = append(g.edges, Edge{Label: label, off: off, rank: int32(len(att))})
 	g.edgeAlive = append(g.edgeAlive, true)
 	g.numEdges++
 	for _, v := range att {
 		g.inc[v] = append(g.inc[v], id)
 	}
 	return id
+}
+
+// Reserve pre-grows the edge tables and the attachment arena so the
+// next edges additional AddEdge calls (carrying attLen attachment
+// nodes in total) do not reallocate them. Incidence lists still grow
+// per node.
+func (g *Graph) Reserve(edges, attLen int) {
+	g.edges = slices.Grow(g.edges, edges)
+	g.edgeAlive = slices.Grow(g.edgeAlive, edges)
+	g.att = slices.Grow(g.att, attLen)
 }
 
 // Edge returns the edge with the given ID. The result aliases graph
@@ -148,8 +166,18 @@ func (g *Graph) Edge(id EdgeID) *Edge {
 // Label returns the label of edge id.
 func (g *Graph) Label(id EdgeID) Label { return g.Edge(id).Label }
 
-// Att returns the attachment sequence of edge id (aliases storage).
-func (g *Graph) Att(id EdgeID) []NodeID { return g.Edge(id).Att }
+// attOf returns the attachment view of e in g's arena (alive or dead).
+// The capacity is clipped so appends by callers cannot clobber the
+// arena.
+func (g *Graph) attOf(e *Edge) []NodeID {
+	return g.att[e.off : e.off+e.rank : e.off+e.rank]
+}
+
+// Att returns the attachment sequence of edge id. The result is a view
+// into the graph's attachment arena: it stays valid and correct for
+// the life of the graph (attachments are immutable once added) but
+// must not be mutated.
+func (g *Graph) Att(id EdgeID) []NodeID { return g.attOf(g.Edge(id)) }
 
 // RemoveEdge tombstones an edge. Incidence entries are cleaned lazily.
 func (g *Graph) RemoveEdge(id EdgeID) {
@@ -158,7 +186,7 @@ func (g *Graph) RemoveEdge(id EdgeID) {
 	}
 	g.edgeAlive[id] = false
 	g.numEdges--
-	for _, v := range g.edges[id].Att {
+	for _, v := range g.attOf(&g.edges[id]) {
 		if g.HasNode(v) {
 			g.incDead[v]++
 		}
@@ -230,7 +258,7 @@ func (g *Graph) IncidentSeq(v NodeID) iter.Seq[EdgeID] {
 func (g *Graph) AppendNeighbors(dst []NodeID, v NodeID) []NodeID {
 	base := len(dst)
 	for _, id := range g.Incident(v) {
-		for _, u := range g.edges[id].Att {
+		for _, u := range g.attOf(&g.edges[id]) {
 			if u != v {
 				dst = append(dst, u)
 			}
@@ -256,7 +284,7 @@ func (g *Graph) Degree(v NodeID) int {
 
 // AttPos returns the position (0-based) of v in att(e), or -1.
 func (g *Graph) AttPos(id EdgeID, v NodeID) int {
-	for i, u := range g.Edge(id).Att {
+	for i, u := range g.Att(id) {
 		if u == v {
 			return i
 		}
@@ -362,7 +390,7 @@ func (g *Graph) EdgeSize() int {
 		if !g.edgeAlive[id] {
 			continue
 		}
-		if r := len(e.Att); r > 2 {
+		if r := int(e.rank); r > 2 {
 			s += r
 		} else {
 			s++
@@ -376,7 +404,9 @@ func (g *Graph) TotalSize() int { return g.numNodes + g.EdgeSize() }
 
 // Clone returns a deep copy of the graph, compacted: dead nodes and
 // edges are dropped but IDs of alive nodes are preserved; edge IDs are
-// renumbered densely in ascending order of the old IDs.
+// renumbered densely in ascending order of the old IDs. Attachments
+// are packed into one freshly sized arena, so the copy makes a
+// constant number of allocations besides the incidence lists.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		nodeAlive: append([]bool(nil), g.nodeAlive...),
@@ -386,17 +416,43 @@ func (g *Graph) Clone() *Graph {
 		extIndex:  append([]int32(nil), g.extIndex...),
 		ext:       append([]NodeID(nil), g.ext...),
 	}
-	c.edges = make([]Edge, 0, g.numEdges)
-	c.edgeAlive = make([]bool, 0, g.numEdges)
+	attLen := 0
+	deg := make([]int32, len(g.inc))
 	for id, e := range g.edges {
+		if g.edgeAlive[id] {
+			attLen += int(e.rank)
+			for _, v := range g.attOf(&g.edges[id]) {
+				deg[v]++
+			}
+		}
+	}
+	// Carve every incidence list out of one flat block with exact
+	// capacity (appends beyond a node's segment reallocate, they
+	// cannot clobber a neighbor), instead of append-growing |V| tiny
+	// slices.
+	incFlat := make([]EdgeID, attLen)
+	pos := int32(0)
+	for v := range c.inc {
+		if deg[v] > 0 {
+			c.inc[v] = incFlat[pos : pos : pos+deg[v]]
+			pos += deg[v]
+		}
+	}
+	c.edges = make([]Edge, 0, g.numEdges)
+	c.att = make([]NodeID, 0, attLen)
+	c.edgeAlive = make([]bool, 0, g.numEdges)
+	for id := range g.edges {
+		e := &g.edges[id]
 		if !g.edgeAlive[id] {
 			continue
 		}
 		nid := EdgeID(len(c.edges))
-		c.edges = append(c.edges, Edge{Label: e.Label, Att: append([]NodeID(nil), e.Att...)})
+		off := int32(len(c.att))
+		c.att = append(c.att, g.attOf(e)...)
+		c.edges = append(c.edges, Edge{Label: e.Label, off: off, rank: e.rank})
 		c.edgeAlive = append(c.edgeAlive, true)
 		c.numEdges++
-		for _, v := range e.Att {
+		for _, v := range g.attOf(e) {
 			c.inc[v] = append(c.inc[v], nid)
 		}
 	}
@@ -415,16 +471,19 @@ func (g *Graph) Compact() map[NodeID]NodeID {
 			next++
 		}
 	}
-	edges := make([]Edge, 0, g.numEdges)
-	for id, e := range g.edges {
+	labels := make([]Label, 0, g.numEdges)
+	ranks := make([]int32, 0, g.numEdges)
+	flat := make([]NodeID, 0, len(g.att))
+	for id := range g.edges {
+		e := &g.edges[id]
 		if !g.edgeAlive[id] {
 			continue
 		}
-		att := make([]NodeID, len(e.Att))
-		for i, v := range e.Att {
-			att[i] = remap[v]
+		for _, v := range g.attOf(e) {
+			flat = append(flat, remap[v])
 		}
-		edges = append(edges, Edge{Label: e.Label, Att: att})
+		labels = append(labels, e.Label)
+		ranks = append(ranks, e.rank)
 	}
 	ext := make([]NodeID, len(g.ext))
 	for i, v := range g.ext {
@@ -432,8 +491,11 @@ func (g *Graph) Compact() map[NodeID]NodeID {
 	}
 	n := g.numNodes
 	*g = *New(n)
-	for _, e := range edges {
-		g.AddEdge(e.Label, e.Att...)
+	g.Reserve(len(labels), len(flat))
+	off := int32(0)
+	for i, l := range labels {
+		g.AddEdge(l, flat[off:off+ranks[i]]...)
+		off += ranks[i]
 	}
 	g.SetExt(ext...)
 	return remap
@@ -459,8 +521,8 @@ func (g *Graph) Labels() []Label {
 func (g *Graph) MaxRank() int {
 	m := 0
 	for id, e := range g.edges {
-		if g.edgeAlive[id] && len(e.Att) > m {
-			m = len(e.Att)
+		if g.edgeAlive[id] && int(e.rank) > m {
+			m = int(e.rank)
 		}
 	}
 	return m

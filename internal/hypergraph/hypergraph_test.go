@@ -251,12 +251,66 @@ func TestIncidenceInvariantProperty(t *testing.T) {
 	}
 }
 
-func TestEdgeKeyDistinguishes(t *testing.T) {
-	a := EdgeKey(1, []NodeID{1, 2})
-	b := EdgeKey(1, []NodeID{2, 1})
-	c := EdgeKey(2, []NodeID{1, 2})
-	if a == b || a == c || b == c {
-		t.Fatal("EdgeKey collisions on trivially distinct edges")
+// TestAttArenaViews pins the attachment-arena semantics: Att returns
+// the exact attachment sequence, views taken before arena growth stay
+// valid and correct, and appending to a returned view cannot clobber a
+// neighboring edge's attachment (the view's capacity is clipped).
+func TestAttArenaViews(t *testing.T) {
+	g := New(6)
+	e1 := g.AddEdge(1, 1, 2)
+	a1 := g.Att(e1)
+	// Force arena growth with more edges, including a hyperedge.
+	e2 := g.AddEdge(2, 3, 4, 5)
+	for i := 0; i < 100; i++ {
+		g.AddEdge(3, 5, 6)
+	}
+	if a1[0] != 1 || a1[1] != 2 {
+		t.Fatalf("pre-growth view changed: %v", a1)
+	}
+	if got := g.Att(e1); got[0] != 1 || got[1] != 2 || len(got) != 2 {
+		t.Fatalf("Att(e1) = %v, want [1 2]", got)
+	}
+	if got := g.Att(e2); len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("Att(e2) = %v, want [3 4 5]", got)
+	}
+	// Appending to a view must reallocate, not overwrite the arena.
+	_ = append(g.Att(e1), 99)
+	if got := g.Att(e2); got[0] != 3 {
+		t.Fatalf("append through a view clobbered the arena: Att(e2) = %v", got)
+	}
+}
+
+// TestWarmAddEdgeAllocs proves AddEdge no longer allocates a per-edge
+// attachment slice: the marginal allocation rate over many adds is the
+// amortized slice growth only (a handful of reallocation events), not
+// one-plus allocations per edge as before the arena.
+func TestWarmAddEdgeAllocs(t *testing.T) {
+	g := New(2)
+	const n = 1024
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < n; i++ {
+			g.AddEdge(1, 1, 2)
+		}
+	})
+	// 4 growing slices (edges, edgeAlive, att, inc) × ~10 doublings
+	// each ≈ 40; the pre-arena layout allocated ≥ n.
+	if allocs > n/10 {
+		t.Fatalf("adding %d edges allocated %.0f times; per-edge attachment allocation is back", n, allocs)
+	}
+
+	// With reserved edge/attachment capacity and warm incidence lists,
+	// AddEdge must not allocate at all. Warm to 900 entries so the
+	// incidence lists sit below their power-of-two capacity (1024) with
+	// room for the measured adds.
+	g2 := New(2)
+	for i := 0; i < 900; i++ {
+		g2.AddEdge(1, 1, 2)
+	}
+	g2.Reserve(200, 400)
+	if allocs := testing.AllocsPerRun(50, func() {
+		g2.AddEdge(1, 1, 2)
+	}); allocs != 0 {
+		t.Fatalf("warm AddEdge allocates %v/op, want 0", allocs)
 	}
 }
 

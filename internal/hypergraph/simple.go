@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -39,10 +40,10 @@ func (g *Graph) Triples() []Triple {
 		if !g.edgeAlive[id] {
 			continue
 		}
-		if len(e.Att) != 2 {
-			panic(fmt.Sprintf("hypergraph: Triples: edge %d has rank %d", id, len(e.Att)))
+		if e.rank != 2 {
+			panic(fmt.Sprintf("hypergraph: Triples: edge %d has rank %d", id, e.rank))
 		}
-		out = append(out, Triple{Src: e.Att[0], Dst: e.Att[1], Label: e.Label})
+		out = append(out, Triple{Src: g.att[e.off], Dst: g.att[e.off+1], Label: e.Label})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -63,8 +64,8 @@ func (g *Graph) OutNeighbors(v NodeID) []NodeID {
 	var out []NodeID
 	for _, id := range g.Incident(v) {
 		e := &g.edges[id]
-		if len(e.Att) == 2 && e.Att[0] == v {
-			out = append(out, e.Att[1])
+		if e.rank == 2 && g.att[e.off] == v {
+			out = append(out, g.att[e.off+1])
 		}
 	}
 	return dedupNodes(out)
@@ -76,8 +77,8 @@ func (g *Graph) InNeighbors(v NodeID) []NodeID {
 	var out []NodeID
 	for _, id := range g.Incident(v) {
 		e := &g.edges[id]
-		if len(e.Att) == 2 && e.Att[1] == v {
-			out = append(out, e.Att[0])
+		if e.rank == 2 && g.att[e.off+1] == v {
+			out = append(out, g.att[e.off])
 		}
 	}
 	return dedupNodes(out)
@@ -88,7 +89,7 @@ func (g *Graph) InNeighbors(v NodeID) []NodeID {
 func (g *Graph) Neighbors(v NodeID) []NodeID {
 	var out []NodeID
 	for _, id := range g.Incident(v) {
-		for _, u := range g.edges[id].Att {
+		for _, u := range g.attOf(&g.edges[id]) {
 			if u != v {
 				out = append(out, u)
 			}
@@ -151,9 +152,9 @@ func EqualHyper(a, b *Graph) bool {
 			return false
 		}
 	}
-	key := func(e *Edge) string {
+	key := func(g *Graph, e *Edge) string {
 		s := fmt.Sprint(e.Label, ":")
-		for _, v := range e.Att {
+		for _, v := range g.attOf(e) {
 			s += fmt.Sprint(v, ",")
 		}
 		return s
@@ -161,12 +162,12 @@ func EqualHyper(a, b *Graph) bool {
 	count := map[string]int{}
 	for id := range a.edges {
 		if a.edgeAlive[id] {
-			count[key(&a.edges[id])]++
+			count[key(a, &a.edges[id])]++
 		}
 	}
 	for id := range b.edges {
 		if b.edgeAlive[id] {
-			count[key(&b.edges[id])]--
+			count[key(b, &b.edges[id])]--
 		}
 	}
 	for _, c := range count {
@@ -195,7 +196,7 @@ func (g *Graph) WeakComponents() [][]NodeID {
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
 			for _, id := range g.Incident(u) {
-				for _, w := range g.edges[id].Att {
+				for _, w := range g.attOf(&g.edges[id]) {
 					if !visited[w] {
 						visited[w] = true
 						stack = append(stack, w)
@@ -203,27 +204,11 @@ func (g *Graph) WeakComponents() [][]NodeID {
 				}
 			}
 		}
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		slices.Sort(comp)
 		comps = append(comps, comp)
 	}
-	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	slices.SortFunc(comps, func(a, b []NodeID) int { return int(a[0] - b[0]) })
 	return comps
-}
-
-// EdgeKey returns a hash key identifying an edge by (label,
-// attachment), used to prevent duplicate parallel edges during
-// compression.
-func EdgeKey(label Label, att []NodeID) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	h = (h ^ uint64(uint32(label))) * prime64
-	for _, v := range att {
-		h = (h ^ uint64(uint32(v))) * prime64
-	}
-	return h
 }
 
 // Reachable reports whether dst is reachable from src following rank-2
@@ -244,12 +229,12 @@ func (g *Graph) Reachable(src, dst NodeID) bool {
 		queue = queue[1:]
 		for _, id := range g.Incident(u) {
 			e := &g.edges[id]
-			if len(e.Att) == 2 && e.Att[0] == u && !visited[e.Att[1]] {
-				if e.Att[1] == dst {
+			if e.rank == 2 && g.att[e.off] == u && !visited[g.att[e.off+1]] {
+				if g.att[e.off+1] == dst {
 					return true
 				}
-				visited[e.Att[1]] = true
-				queue = append(queue, e.Att[1])
+				visited[g.att[e.off+1]] = true
+				queue = append(queue, g.att[e.off+1])
 			}
 		}
 	}

@@ -110,10 +110,10 @@ func (m *matcher) tryAssign(av, bv hypergraph.NodeID) (consumed []string, ok boo
 	m.fwd[av] = bv
 	m.rev[bv] = av
 	for _, id := range m.a.Incident(av) {
-		e := m.a.Edge(id)
-		mapped := make([]hypergraph.NodeID, len(e.Att))
+		att := m.a.Att(id)
+		mapped := make([]hypergraph.NodeID, len(att))
 		full := true
-		for i, u := range e.Att {
+		for i, u := range att {
 			w, has := m.fwd[u]
 			if !has {
 				full = false
@@ -124,7 +124,7 @@ func (m *matcher) tryAssign(av, bv hypergraph.NodeID) (consumed []string, ok boo
 		if !full {
 			continue
 		}
-		k := edgeKeyStr(e.Label, mapped)
+		k := edgeKeyStr(m.a.Label(id), mapped)
 		if m.bEdges[k] == 0 {
 			// rollback partial consumption
 			for _, ck := range consumed {
@@ -216,8 +216,7 @@ func Isomorphic(a, b *hypergraph.Graph) bool {
 		m.cand[v] = byColorB[ca[v]]
 	}
 	for _, id := range b.Edges() {
-		e := b.Edge(id)
-		m.bEdges[edgeKeyStr(e.Label, e.Att)]++
+		m.bEdges[edgeKeyStr(b.Label(id), b.Att(id))]++
 	}
 
 	// Pin external nodes pointwise.

@@ -139,10 +139,10 @@ func TestRandomPermutationProperty(t *testing.T) {
 		perm := rng.Perm(n)
 		b := hypergraph.New(n)
 		for _, id := range a.Edges() {
-			e := a.Edge(id)
-			b.AddEdge(e.Label,
-				hypergraph.NodeID(perm[e.Att[0]-1]+1),
-				hypergraph.NodeID(perm[e.Att[1]-1]+1))
+			att := a.Att(id)
+			b.AddEdge(a.Label(id),
+				hypergraph.NodeID(perm[att[0]-1]+1),
+				hypergraph.NodeID(perm[att[1]-1]+1))
 		}
 		if !Isomorphic(a, b) {
 			t.Fatalf("trial %d: permuted copy not recognized (n=%d)", trial, n)
@@ -151,9 +151,9 @@ func TestRandomPermutationProperty(t *testing.T) {
 		// parallel twin exists; use a fresh label to be safe.
 		if b.NumEdges() > 0 {
 			eid := b.Edges()[rng.Intn(b.NumEdges())]
-			e := b.Edge(eid)
+			att := b.Att(eid)
 			b.RemoveEdge(eid)
-			b.AddEdge(99, e.Att[0], e.Att[1])
+			b.AddEdge(99, att[0], att[1])
 			if Isomorphic(a, b) {
 				t.Fatalf("trial %d: label perturbation not detected", trial)
 			}

@@ -43,15 +43,16 @@ func (e *Engine) expandedAdjacency(h *hypergraph.Graph) map[hypergraph.NodeID][]
 	adj := make(map[hypergraph.NodeID][]hypergraph.NodeID, h.NumNodes())
 	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
+		att := h.Att(id)
 		if e.g.IsTerminal(ed.Label) {
-			adj[ed.Att[0]] = append(adj[ed.Att[0]], ed.Att[1])
+			adj[att[0]] = append(adj[att[0]], att[1])
 			continue
 		}
 		sk := e.skel[ed.Label]
 		for i := range sk {
 			for j := range sk[i] {
 				if sk[i][j] {
-					adj[ed.Att[i]] = append(adj[ed.Att[i]], ed.Att[j])
+					adj[att[i]] = append(adj[att[i]], att[j])
 				}
 			}
 		}
@@ -202,9 +203,10 @@ func (e *Engine) Reachable(u, v int64) (bool, error) {
 	adj := map[nodeKey][]nodeKey{}
 	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
 		ed := h.Edge(id)
+		att := h.Att(id)
 		if e.g.IsTerminal(ed.Label) {
-			a := px.canonical(instKey, ed.Att[0])
-			b := px.canonical(instKey, ed.Att[1])
+			a := px.canonical(instKey, att[0])
+			b := px.canonical(instKey, att[1])
 			adj[a] = append(adj[a], b)
 			return
 		}
@@ -212,8 +214,8 @@ func (e *Engine) Reachable(u, v int64) (bool, error) {
 		for i := range sk {
 			for j := range sk[i] {
 				if sk[i][j] {
-					a := px.canonical(instKey, ed.Att[i])
-					b := px.canonical(instKey, ed.Att[j])
+					a := px.canonical(instKey, att[i])
+					b := px.canonical(instKey, att[j])
 					adj[a] = append(adj[a], b)
 				}
 			}
@@ -274,8 +276,9 @@ func (e *Engine) ComponentCount() int64 {
 		var nested int64
 		for id := range h.EdgesSeq() {
 			ed := h.Edge(id)
+			att := h.Att(id)
 			if e.g.IsTerminal(ed.Label) {
-				union(ed.Att[0], ed.Att[1])
+				union(att[0], att[1])
 				continue
 			}
 			in := get(ed.Label)
@@ -284,9 +287,9 @@ func (e *Engine) ComponentCount() int64 {
 			first := map[int]hypergraph.NodeID{}
 			for pos, g := range in.part {
 				if f, ok := first[g]; ok {
-					union(f, ed.Att[pos])
+					union(f, att[pos])
 				} else {
-					first[g] = ed.Att[pos]
+					first[g] = att[pos]
 				}
 			}
 		}
@@ -363,21 +366,22 @@ func (e *Engine) DegreeStats(dir Direction) (min, max int64, err error) {
 		nested := false
 		for id := range h.EdgesSeq() {
 			ed := h.Edge(id)
+			att := h.Att(id)
 			if e.g.IsTerminal(ed.Label) {
 				switch dir {
 				case Out:
-					deg[ed.Att[0]]++
+					deg[att[0]]++
 				case In:
-					deg[ed.Att[1]]++
+					deg[att[1]]++
 				case Both:
-					deg[ed.Att[0]]++
-					deg[ed.Att[1]]++
+					deg[att[0]]++
+					deg[att[1]]++
 				}
 				continue
 			}
 			in := infos[ed.Label]
 			for pos, d := range in.extDeg {
-				deg[ed.Att[pos]] += d
+				deg[att[pos]] += d
 			}
 			if in.hasInt {
 				if !nested || in.min < nmin {

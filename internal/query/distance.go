@@ -56,15 +56,16 @@ func (e *Engine) expandedWeighted(h *hypergraph.Graph) map[hypergraph.NodeID][]w
 	adj := make(map[hypergraph.NodeID][]wEdge, h.NumNodes())
 	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
+		att := h.Att(id)
 		if e.g.IsTerminal(ed.Label) {
-			adj[ed.Att[0]] = append(adj[ed.Att[0]], wEdge{ed.Att[1], 1})
+			adj[att[0]] = append(adj[att[0]], wEdge{att[1], 1})
 			continue
 		}
 		sk := e.dskel[ed.Label]
 		for i := range sk {
 			for j, d := range sk[i] {
 				if i != j && d < maxDist {
-					adj[ed.Att[i]] = append(adj[ed.Att[i]], wEdge{ed.Att[j], d})
+					adj[att[i]] = append(adj[att[i]], wEdge{att[j], d})
 				}
 			}
 		}
@@ -131,15 +132,16 @@ func (e *Engine) Distance(u, v int64) (int64, error) {
 	}
 	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
 		ed := h.Edge(id)
+		att := h.Att(id)
 		if e.g.IsTerminal(ed.Label) {
-			add(px.canonical(instKey, ed.Att[0]), px.canonical(instKey, ed.Att[1]), 1)
+			add(px.canonical(instKey, att[0]), px.canonical(instKey, att[1]), 1)
 			return
 		}
 		sk := e.dskel[ed.Label]
 		for i := range sk {
 			for j, d := range sk[i] {
 				if i != j && d < maxDist {
-					add(px.canonical(instKey, ed.Att[i]), px.canonical(instKey, ed.Att[j]), d)
+					add(px.canonical(instKey, att[i]), px.canonical(instKey, att[j]), d)
 				}
 			}
 		}

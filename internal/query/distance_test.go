@@ -20,16 +20,16 @@ func bruteDistance(g *hypergraph.Graph, u, v hypergraph.NodeID) int64 {
 		x := queue[0]
 		queue = queue[1:]
 		for _, id := range g.Incident(x) {
-			e := g.Edge(id)
-			if len(e.Att) != 2 || e.Att[0] != x {
+			att := g.Att(id)
+			if len(att) != 2 || att[0] != x {
 				continue
 			}
-			if _, ok := dist[e.Att[1]]; !ok {
-				dist[e.Att[1]] = dist[x] + 1
-				if e.Att[1] == v {
-					return dist[e.Att[1]]
+			if _, ok := dist[att[1]]; !ok {
+				dist[att[1]] = dist[x] + 1
+				if att[1] == v {
+					return dist[att[1]]
 				}
-				queue = append(queue, e.Att[1])
+				queue = append(queue, att[1])
 			}
 		}
 	}

@@ -99,16 +99,16 @@ func New(g *grammar.Grammar) (*Engine, error) {
 	}
 	s := g.Start
 	sort.Slice(nts, func(i, j int) bool {
-		a, b := s.Edge(nts[i]), s.Edge(nts[j])
-		if a.Label != b.Label {
-			return a.Label < b.Label
+		if la, lb := s.Label(nts[i]), s.Label(nts[j]); la != lb {
+			return la < lb
 		}
-		for k := 0; k < len(a.Att) && k < len(b.Att); k++ {
-			if a.Att[k] != b.Att[k] {
-				return a.Att[k] < b.Att[k]
+		a, b := s.Att(nts[i]), s.Att(nts[j])
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
 			}
 		}
-		return len(a.Att) < len(b.Att)
+		return len(a) < len(b)
 	})
 	base := e.m
 	for _, id := range nts {

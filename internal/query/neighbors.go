@@ -31,9 +31,8 @@ func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
 
 	var out []int64
 	for _, id := range h.Incident(loc.Node) {
-		ed := h.Edge(id)
-		if e.g.IsTerminal(ed.Label) {
-			if u, ok := terminalNeighbor(ed, loc.Node, dir); ok {
+		if lab := h.Label(id); e.g.IsTerminal(lab) {
+			if u, ok := terminalNeighbor(h.Att(id), loc.Node, dir); ok {
 				out = append(out, resolveHost(u))
 			}
 			continue
@@ -62,9 +61,9 @@ func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
 }
 
 // terminalNeighbor returns the neighbor of v along a rank-2 terminal
-// edge in the requested direction.
-func terminalNeighbor(ed *hypergraph.Edge, v hypergraph.NodeID, dir Direction) (hypergraph.NodeID, bool) {
-	src, dst := ed.Att[0], ed.Att[1]
+// edge (given by its attachment) in the requested direction.
+func terminalNeighbor(att []hypergraph.NodeID, v hypergraph.NodeID, dir Direction) (hypergraph.NodeID, bool) {
+	src, dst := att[0], att[1]
 	switch dir {
 	case Out:
 		if src == v {
@@ -107,9 +106,8 @@ func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
 		return base + ri.intIndex[w] + 1
 	}
 	for _, eid := range rhs.Incident(x) {
-		ed := rhs.Edge(eid)
-		if e.g.IsTerminal(ed.Label) {
-			if u, ok := terminalNeighbor(ed, x, dir); ok {
+		if lab := rhs.Label(eid); e.g.IsTerminal(lab) {
+			if u, ok := terminalNeighbor(rhs.Att(eid), x, dir); ok {
 				*out = append(*out, resolveHere(u))
 			}
 			continue

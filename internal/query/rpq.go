@@ -119,11 +119,12 @@ func (r *RPQ) productAdjacency(h *hypergraph.Graph) map[prodNode][]prodNode {
 	adj := map[prodNode][]prodNode{}
 	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
+		att := h.Att(id)
 		if r.e.g.IsTerminal(ed.Label) {
 			for q := 0; q < Q; q++ {
 				for _, p := range r.nfa.Next(q, ed.Label) {
-					a := prodNode{ed.Att[0], q}
-					adj[a] = append(adj[a], prodNode{ed.Att[1], p})
+					a := prodNode{att[0], q}
+					adj[a] = append(adj[a], prodNode{att[1], p})
 				}
 			}
 			continue
@@ -136,8 +137,8 @@ func (r *RPQ) productAdjacency(h *hypergraph.Graph) map[prodNode][]prodNode {
 					continue
 				}
 				j, p := jp/Q, jp%Q
-				a := prodNode{ed.Att[i], q}
-				adj[a] = append(adj[a], prodNode{ed.Att[j], p})
+				a := prodNode{att[i], q}
+				adj[a] = append(adj[a], prodNode{att[j], p})
 			}
 		}
 	}
@@ -184,9 +185,10 @@ func (r *RPQ) Matches(u, v int64) (bool, error) {
 	adj := map[pk][]pk{}
 	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
 		ed := h.Edge(id)
+		att := h.Att(id)
 		if r.e.g.IsTerminal(ed.Label) {
-			a := px.canonical(instKey, ed.Att[0])
-			b := px.canonical(instKey, ed.Att[1])
+			a := px.canonical(instKey, att[0])
+			b := px.canonical(instKey, att[1])
 			for q := 0; q < Q; q++ {
 				for _, p := range r.nfa.Next(q, ed.Label) {
 					adj[pk{a, q}] = append(adj[pk{a, q}], pk{b, p})
@@ -202,8 +204,8 @@ func (r *RPQ) Matches(u, v int64) (bool, error) {
 					continue
 				}
 				j, p := jp/Q, jp%Q
-				a := px.canonical(instKey, ed.Att[i])
-				b := px.canonical(instKey, ed.Att[j])
+				a := px.canonical(instKey, att[i])
+				b := px.canonical(instKey, att[j])
 				adj[pk{a, q}] = append(adj[pk{a, q}], pk{b, p})
 			}
 		}

@@ -28,12 +28,12 @@ func bruteMatches(g *hypergraph.Graph, nfa *NFA, u, v hypergraph.NodeID) bool {
 			return true
 		}
 		for _, id := range g.Incident(x.n) {
-			e := g.Edge(id)
-			if len(e.Att) != 2 || e.Att[0] != x.n {
+			att := g.Att(id)
+			if len(att) != 2 || att[0] != x.n {
 				continue
 			}
-			for _, p := range nfa.Next(x.q, e.Label) {
-				y := st{e.Att[1], p}
+			for _, p := range nfa.Next(x.q, g.Label(id)) {
+				y := st{att[1], p}
 				if !seen[y] {
 					seen[y] = true
 					queue = append(queue, y)
