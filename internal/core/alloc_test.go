@@ -73,6 +73,21 @@ func TestHotPathAllocationBudgets(t *testing.T) {
 		t.Errorf("stageInit allocates %v/op in steady state, want 0", n)
 	}
 
+	// The pairing path around a freshly inserted nonterminal edge:
+	// building a node's availability from its grouped incidence must
+	// live entirely in the per-stage group/entry arenas. The arenas are
+	// truncated like stageInit does, so the loop reaches a high-water
+	// mark instead of growing without bound; tryCount settles into its
+	// rejection path after the warm-up call counted the pair.
+	if n := testing.AllocsPerRun(200, func() {
+		c.availPool = c.availPool[:0]
+		c.groupPool = c.groupPool[:0]
+		c.avail[u].reset()
+		c.pairNewEdge(x, u)
+	}); n != 0 {
+		t.Errorf("pairNewEdge availability build allocates %v/op in steady state, want 0", n)
+	}
+
 	// Single-label path: labels and ranks tie, forcing the flipped
 	// orientation derivation — the pre-optimization worst case.
 	g := hypergraph.New(5)
@@ -85,5 +100,51 @@ func TestHotPathAllocationBudgets(t *testing.T) {
 		canonicalizeInto(c2.g, x2, y2, &c2.co1, &c2.co2)
 	}); n != 0 {
 		t.Errorf("canonicalize (label tie) allocates %v/op in steady state, want 0", n)
+	}
+}
+
+// TestAvailGroupArenaSteadyStateAllocs drives the availability-group
+// arena directly: pushing candidates under shuffled keys for every
+// node — exercising head, middle and tail insertion into each node's
+// sorted group chain — allocates nothing once groupPool and availPool
+// sit at their per-stage high-water marks.
+func TestAvailGroupArenaSteadyStateAllocs(t *testing.T) {
+	c := warmCompressor(t, chainGraph(64), 2)
+	ids := c.g.Edges()
+	keys := []effLabel{
+		makeEffLabel(3, 1), makeEffLabel(1, 0), makeEffLabel(2, 1), makeEffLabel(1, 1),
+	}
+	fill := func() {
+		c.availPool = c.availPool[:0]
+		c.groupPool = c.groupPool[:0]
+		for i := range c.avail {
+			c.avail[i].reset()
+		}
+		for vi := 1; vi < len(c.avail); vi++ {
+			a := &c.avail[vi]
+			a.built = true
+			for k, l := range keys {
+				c.availPush(a, l, ids[(vi+k)%len(ids)])
+			}
+		}
+	}
+	fill() // reach the high-water mark
+	if n := testing.AllocsPerRun(100, fill); n != 0 {
+		t.Errorf("availability-group arena steady state allocates %v/op, want 0", n)
+	}
+	// The chains must drain in sorted key order with LIFO entries.
+	a := &c.avail[1]
+	var got []effLabel
+	for gi := a.groups; gi != noEntry; gi = c.groupPool[gi].next {
+		got = append(got, c.groupPool[gi].l)
+	}
+	want := []effLabel{makeEffLabel(1, 0), makeEffLabel(1, 1), makeEffLabel(2, 1), makeEffLabel(3, 1)}
+	if len(got) != len(want) {
+		t.Fatalf("group chain = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("group chain order = %v, want %v", got, want)
+		}
 	}
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"graphrepair/internal/grammar"
 	"graphrepair/internal/hypergraph"
@@ -107,11 +106,14 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 	// Stage 2: connect components with virtual edges and rerun
 	// (Sec. III-A, "additional step"), then strip the virtual edges.
 	if opts.ConnectComponents {
-		if comps := c.g.WeakComponents(); len(comps) > 1 {
-			for i := 0; i+1 < len(comps); i++ {
-				id := c.g.AddEdge(virtualLabel, comps[i][0], comps[i+1][0])
+		// Only the smallest node per component is needed, so the flat
+		// WeakComponentsInto replaces the per-component slice shape.
+		if n := c.g.WeakComponentsInto(&c.comps); n > 1 {
+			for i := 0; i+1 < n; i++ {
+				u, w := c.comps.Reps[i], c.comps.Reps[i+1]
+				id := c.g.AddEdge(virtualLabel, u, w)
 				c.growEdgeState()
-				iid := c.eset.intern(virtualLabel, comps[i][0], comps[i+1][0])
+				iid := c.eset.intern(virtualLabel, u, w)
 				c.eset.counts[iid]++
 				c.edgeIID[id] = iid
 				c.stats.VirtualEdges++
@@ -176,44 +178,61 @@ type availEntry struct {
 	next int32
 }
 
-// availGroup is one effLabel group of a node's availability: the key
-// and the arena index of the chain's top entry (noEntry when drained).
+// availGroup is one effLabel group of a node's availability: the key,
+// the availPool index of the entry chain's top (noEntry when drained),
+// and the groupPool index of the node's next group. The groups of one
+// node form a chain sorted ascending by key.
 type availGroup struct {
 	l    effLabel
 	head int32
+	next int32
 }
 
 // availability is the per-node structure backing constant-time pairing
 // of new nonterminal edges (Sec. III-C1): for every effLabel a LIFO
-// chain of candidate edges, linked through the compressor's shared
-// arena so pushing a candidate never allocates (DESIGN.md §8).
-// Entries are popped at most once; dead or blocked candidates are
-// discarded, which keeps the total pairing work linear in the node's
-// degree across all replacements. groups are sorted ascending by key;
-// reset truncates the slice but keeps its backing array for the next
-// stage. Chain push/pop at the head reproduces the pop order of the
-// pre-PR-3 per-group slices exactly.
+// chain of candidate edges. Both the groups and their entries live in
+// per-stage arenas on the compressor (groupPool / availPool, reset by
+// truncation in stageInit), so neither building a node's availability
+// nor pushing a candidate ever allocates (DESIGN.md §9). Entries are
+// popped at most once; dead or blocked candidates are discarded, which
+// keeps the total pairing work linear in the node's degree across all
+// replacements. Group insertion in sorted key position and entry
+// push/pop at the chain head reproduce the iteration and pop order of
+// the pre-PR-4 sorted per-node group slices exactly.
 type availability struct {
 	built  bool
-	groups []availGroup
+	groups int32 // groupPool index of the first group, or noEntry
 }
 
 func (a *availability) reset() {
 	a.built = false
-	a.groups = a.groups[:0]
+	a.groups = noEntry
 }
 
-// push makes edge id available under key l, inserting a new group in
-// sorted position if needed.
-func (a *availability) push(ar *[]availEntry, l effLabel, id hypergraph.EdgeID) {
-	i := sort.Search(len(a.groups), func(i int) bool { return a.groups[i].l >= l })
-	if i < len(a.groups) && a.groups[i].l == l {
-		a.groups[i].head = pushAvail(ar, a.groups[i].head, id)
-		return
+// availPush makes edge id available under key l at availability a,
+// inserting a new group in sorted chain position if needed.
+func (c *compressor) availPush(a *availability, l effLabel, id hypergraph.EdgeID) {
+	prev := noEntry
+	for gi := a.groups; gi != noEntry; gi = c.groupPool[gi].next {
+		g := &c.groupPool[gi]
+		if g.l == l {
+			g.head = pushAvail(&c.availPool, g.head, id)
+			return
+		}
+		if g.l > l {
+			break
+		}
+		prev = gi
 	}
-	a.groups = append(a.groups, availGroup{})
-	copy(a.groups[i+1:], a.groups[i:])
-	a.groups[i] = availGroup{l: l, head: pushAvail(ar, noEntry, id)}
+	ni := int32(len(c.groupPool))
+	c.groupPool = append(c.groupPool, availGroup{l: l, head: pushAvail(&c.availPool, noEntry, id)})
+	if prev == noEntry {
+		c.groupPool[ni].next = a.groups
+		a.groups = ni
+	} else {
+		c.groupPool[ni].next = c.groupPool[prev].next
+		c.groupPool[prev].next = ni
+	}
 }
 
 // pushAvail prepends id to the chain starting at head and returns the
@@ -263,10 +282,16 @@ type compressor struct {
 	eset    edgeInterner
 	edgeIID []int32
 	// avail holds lazily built per-node pairing chains, indexed by
-	// NodeID (the node ID space is fixed for the whole run); the chain
-	// entries of all nodes live in availPool, reset per stage.
+	// NodeID (the node ID space is fixed for the whole run); the
+	// effLabel groups of all nodes live in groupPool and their entry
+	// chains in availPool, both reset by truncation per stage.
 	avail     []availability
+	groupPool []availGroup
 	availPool []availEntry
+	// comps is the weak-component scratch behind the virtual-edge
+	// stage, reused so component discovery is allocation-free once
+	// warm.
+	comps hypergraph.Components
 
 	ranks map[hypergraph.Label]int // ranks of created nonterminals
 	stats Stats
@@ -304,6 +329,7 @@ func (c *compressor) stageInit() {
 	c.pq.reset(c.g.NumEdges())
 	c.occs.reset(int(c.g.MaxEdgeID()))
 	c.availPool = c.availPool[:0]
+	c.groupPool = c.groupPool[:0]
 	for i := range c.avail {
 		c.avail[i].reset()
 	}
@@ -345,7 +371,7 @@ func (c *compressor) runStage() {
 func (c *compressor) groupIncident(v hypergraph.NodeID) {
 	buf := c.incBuf[:0]
 	i := int32(0)
-	for _, id := range c.g.Incident(v) {
+	for id := range c.g.IncidentSeq(v) {
 		buf = append(buf, incEntry{l: makeEffLabel(c.g.Label(id), c.g.AttPos(id, v)), idx: i, id: id})
 		i++
 	}
@@ -564,7 +590,7 @@ func (c *compressor) replaceOccurrence(oi int32, co *canonOcc, nt hypergraph.Lab
 	// Make the new edge available for future pairings.
 	for pos, v := range c.attBuf {
 		if c.avail[v].built {
-			c.avail[v].push(&c.availPool, makeEffLabel(nt, pos), id)
+			c.availPush(&c.avail[v], makeEffLabel(nt, pos), id)
 		}
 	}
 }
@@ -579,23 +605,31 @@ func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
 		a.built = true
 		c.groupIncident(v)
 		gs := c.groupStart
+		tail := noEntry
 		for gi := 0; gi+1 < len(gs); gi++ {
 			s, e := gs[gi], gs[gi+1]
 			if s == e {
 				continue
 			}
 			// groupIncident emits groups in ascending key order, so each
-			// group appends after every existing key.
+			// group appends at the tail of the chain.
 			head := noEntry
 			// Chain in reverse so that pop order follows incidence order.
 			for m := e - 1; m >= s; m-- {
 				head = pushAvail(&c.availPool, head, c.incBuf[m].id)
 			}
-			a.groups = append(a.groups, availGroup{l: c.incBuf[s].l, head: head})
+			ni := int32(len(c.groupPool))
+			c.groupPool = append(c.groupPool, availGroup{l: c.incBuf[s].l, head: head, next: noEntry})
+			if tail == noEntry {
+				a.groups = ni
+			} else {
+				c.groupPool[tail].next = ni
+			}
+			tail = ni
 		}
 	}
-	for ki := 0; ki < len(a.groups); ki++ {
-		h := a.groups[ki].head
+	for gi := a.groups; gi != noEntry; gi = c.groupPool[gi].next {
+		h := c.groupPool[gi].head
 		for h >= 0 {
 			f := c.availPool[h].id
 			h = c.availPool[h].next
@@ -607,7 +641,7 @@ func (c *compressor) pairNewEdge(id hypergraph.EdgeID, v hypergraph.NodeID) {
 				break
 			}
 		}
-		a.groups[ki].head = h
+		c.groupPool[gi].head = h
 	}
 }
 

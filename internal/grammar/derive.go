@@ -178,6 +178,18 @@ func (g *Grammar) Inline(h *hypergraph.Graph, id hypergraph.EdgeID) []hypergraph
 	s := g.scr()
 	s.att = append(s.att[:0], h.Att(id)...)
 	h.RemoveEdge(id)
+	// Batch-grow the host tables up front: the rule's internal-node
+	// count bounds the AddNode calls below, and its edge/attachment
+	// totals bound the AddEdge copies, so the host never grows one
+	// node or edge at a time.
+	if internal := rhs.NumNodes() - rhs.Rank(); internal > 0 {
+		h.ReserveNodes(internal)
+	}
+	attLen := 0
+	for rid := range rhs.EdgesSeq() {
+		attLen += rhs.Edge(rid).Rank()
+	}
+	h.Reserve(rhs.NumEdges(), attLen)
 	// m maps rule nodes to host nodes; flat, indexed by rule NodeID.
 	// Zero (an invalid host ID) marks unmapped slots, so stale entries
 	// from the previous Inline must be cleared.

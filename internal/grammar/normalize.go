@@ -64,7 +64,7 @@ func (g *Grammar) splitGraph(h *hypergraph.Graph, isStart bool) {
 				if h.IsExternal(v) {
 					visible = true
 				} else {
-					for _, id := range h.Incident(v) {
+					for id := range h.IncidentSeq(v) {
 						if id != e1 && id != e2 {
 							visible = true
 							break

@@ -1,0 +1,170 @@
+package hypergraph
+
+import (
+	"testing"
+)
+
+// incOracle shadows a Graph with naive per-node incidence slices: the
+// reference model for the chained incidence arena. Edges append on
+// AddEdge, filter out on RemoveEdge, and renumber densely on Clone —
+// exactly the observable contract of the arena implementation.
+type incOracle struct {
+	inc   map[NodeID][]EdgeID
+	att   map[EdgeID][]NodeID
+	alive map[EdgeID]bool
+	nodes map[NodeID]bool
+}
+
+func newIncOracle(n int) *incOracle {
+	o := &incOracle{
+		inc:   map[NodeID][]EdgeID{},
+		att:   map[EdgeID][]NodeID{},
+		alive: map[EdgeID]bool{},
+		nodes: map[NodeID]bool{},
+	}
+	for v := 1; v <= n; v++ {
+		o.nodes[NodeID(v)] = true
+	}
+	return o
+}
+
+func (o *incOracle) addEdge(id EdgeID, att ...NodeID) {
+	o.att[id] = append([]NodeID(nil), att...)
+	o.alive[id] = true
+	for _, v := range att {
+		o.inc[v] = append(o.inc[v], id)
+	}
+}
+
+func (o *incOracle) removeEdge(id EdgeID) {
+	o.alive[id] = false
+	for _, v := range o.att[id] {
+		lst := o.inc[v][:0]
+		for _, e := range o.inc[v] {
+			if e != id {
+				lst = append(lst, e)
+			}
+		}
+		o.inc[v] = lst
+	}
+}
+
+func (o *incOracle) removeNode(v NodeID) {
+	delete(o.nodes, v)
+	delete(o.inc, v)
+}
+
+// clone renumbers alive edges densely in ascending old-ID order,
+// mirroring Graph.Clone.
+func (o *incOracle) clone(maxEdgeID EdgeID) *incOracle {
+	remap := map[EdgeID]EdgeID{}
+	next := EdgeID(0)
+	for id := EdgeID(0); id < maxEdgeID; id++ {
+		if o.alive[id] {
+			remap[id] = next
+			next++
+		}
+	}
+	c := &incOracle{
+		inc:   map[NodeID][]EdgeID{},
+		att:   map[EdgeID][]NodeID{},
+		alive: map[EdgeID]bool{},
+		nodes: map[NodeID]bool{},
+	}
+	for v := range o.nodes {
+		c.nodes[v] = true
+	}
+	for id, att := range o.att {
+		if o.alive[id] {
+			c.att[remap[id]] = append([]NodeID(nil), att...)
+			c.alive[remap[id]] = true
+		}
+	}
+	for v, lst := range o.inc {
+		for _, id := range lst {
+			c.inc[v] = append(c.inc[v], remap[id])
+		}
+	}
+	return c
+}
+
+func (o *incOracle) check(t *testing.T, g *Graph, step int) {
+	t.Helper()
+	for v := range o.nodes {
+		if !g.HasNode(v) {
+			t.Fatalf("step %d: node %d should be alive", step, v)
+		}
+		var got []EdgeID
+		for id := range g.IncidentSeq(v) {
+			got = append(got, id)
+		}
+		want := o.inc[v]
+		if len(got) != len(want) {
+			t.Fatalf("step %d: node %d: IncidentSeq = %v, want %v", step, v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: node %d: IncidentSeq order = %v, want %v", step, v, got, want)
+			}
+		}
+		if g.Degree(v) != len(want) {
+			t.Fatalf("step %d: Degree(%d) = %d, want %d", step, v, g.Degree(v), len(want))
+		}
+	}
+}
+
+// FuzzIncidenceOps interleaves AddEdge, RemoveEdge, RemoveNode and
+// Clone driven by the fuzz input and checks the incidence chains —
+// contents AND order — against the slice-based oracle after every
+// operation. Clone additionally swaps the graph for its copy, so chain
+// re-carving is exercised mid-sequence, not just at the end.
+func FuzzIncidenceOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{10, 200, 30, 41, 52, 63, 74, 85, 96, 107, 118, 129})
+	f.Add([]byte{255, 254, 253, 3, 3, 3, 9, 9, 9, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 6
+		g := New(n)
+		o := newIncOracle(n)
+		var alive []EdgeID
+		for step := 0; step+1 < len(data) && step < 120; step += 2 {
+			op, arg := data[step], int(data[step+1])
+			switch op % 5 {
+			case 0: // RemoveEdge
+				if len(alive) == 0 {
+					continue
+				}
+				i := arg % len(alive)
+				id := alive[i]
+				g.RemoveEdge(id)
+				o.removeEdge(id)
+				alive = append(alive[:i], alive[i+1:]...)
+			case 1: // RemoveNode (only degree-0, alive, non-external)
+				v := NodeID(1 + arg%int(g.MaxNodeID()))
+				if g.HasNode(v) && g.Degree(v) == 0 && !g.IsExternal(v) {
+					g.RemoveNode(v)
+					o.removeNode(v)
+				}
+			case 2: // Clone and continue on the copy
+				maxID := g.MaxEdgeID()
+				g = g.Clone()
+				o = o.clone(maxID)
+				alive = alive[:0]
+				for id := EdgeID(0); id < g.MaxEdgeID(); id++ {
+					alive = append(alive, id)
+				}
+			default: // AddEdge
+				max := int(g.MaxNodeID())
+				u := NodeID(1 + arg%max)
+				w := NodeID(1 + (arg/max+1)%max)
+				if u == w || !g.HasNode(u) || !g.HasNode(w) {
+					continue
+				}
+				id := g.AddEdge(Label(1+arg%3), u, w)
+				o.addEdge(id, u, w)
+				alive = append(alive, id)
+			}
+			o.check(t, g, step)
+		}
+	})
+}

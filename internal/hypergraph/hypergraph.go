@@ -49,8 +49,26 @@ type Edge struct {
 // Rank returns the number of attached nodes.
 func (e *Edge) Rank() int { return int(e.rank) }
 
+// incSlot is one link of a node's incidence chain in the graph's
+// shared incidence arena. Links are stored 1-based (0 means "none") so
+// the zero value of incList is a valid empty chain.
+type incSlot struct {
+	edge EdgeID
+	next int32 // 1-based arena index of the next slot, 0 = end
+}
+
+// incList is one node's incidence-chain header: the chain runs from
+// head to tail through incSlot.next, in edge insertion order. deg
+// counts the alive incident edges (the chain may additionally hold
+// tombstoned edges, unlinked lazily by the next traversal).
+type incList struct {
+	head, tail int32 // 1-based arena indices, 0 = empty
+	deg        int32 // alive incident edges
+}
+
 // Graph is a mutable hypergraph. Nodes and edges are removed by
-// tombstoning; incidence lists are compacted lazily.
+// tombstoning; incidence chains drop dead entries lazily (traversals
+// unlink them in place, see IncidentSeq).
 type Graph struct {
 	edges     []Edge
 	att       []NodeID // attachment arena, indexed by Edge.off/rank
@@ -60,8 +78,8 @@ type Graph struct {
 	nodeAlive []bool // index 0 unused
 	numNodes  int    // alive nodes
 
-	inc      [][]EdgeID // per node: incident edges, may contain dead entries
-	incDead  []int32    // dead entries per incidence list
+	incPool  []incSlot // incidence arena; one slot per (edge, attached node)
+	inc      []incList // per node: incidence chain header
 	ext      []NodeID
 	extIndex []int32 // per node: position in ext, or -1
 }
@@ -71,8 +89,7 @@ func New(n int) *Graph {
 	g := &Graph{
 		nodeAlive: make([]bool, n+1),
 		numNodes:  n,
-		inc:       make([][]EdgeID, n+1),
-		incDead:   make([]int32, n+1),
+		inc:       make([]incList, n+1),
 		extIndex:  make([]int32, n+1),
 	}
 	for i := 1; i <= n; i++ {
@@ -109,18 +126,26 @@ func (g *Graph) HasEdge(id EdgeID) bool {
 // AddNode allocates a fresh node and returns its ID.
 func (g *Graph) AddNode() NodeID {
 	g.nodeAlive = append(g.nodeAlive, true)
-	g.inc = append(g.inc, nil)
-	g.incDead = append(g.incDead, 0)
+	g.inc = append(g.inc, incList{})
 	g.extIndex = append(g.extIndex, -1)
 	g.numNodes++
 	return NodeID(len(g.nodeAlive) - 1)
 }
 
+// ReserveNodes pre-grows the node tables so the next n AddNode calls
+// do not reallocate them.
+func (g *Graph) ReserveNodes(n int) {
+	g.nodeAlive = slices.Grow(g.nodeAlive, n)
+	g.inc = slices.Grow(g.inc, n)
+	g.extIndex = slices.Grow(g.extIndex, n)
+}
+
 // AddEdge inserts a hyperedge with the given label and attachment
 // sequence and returns its ID. It panics if an attachment node is dead
 // or repeated (paper restriction (1) excludes self-loops). The
-// attachment is copied into the graph's arena, so on warm capacity
-// (see Reserve) the call allocates nothing beyond incidence growth.
+// attachment is copied into the graph's arena and each attached node's
+// incidence chain grows by one shared-arena slot, so on warm capacity
+// (see Reserve) the call allocates nothing at all.
 func (g *Graph) AddEdge(label Label, att ...NodeID) EdgeID {
 	for i, v := range att {
 		if !g.HasNode(v) {
@@ -139,19 +164,30 @@ func (g *Graph) AddEdge(label Label, att ...NodeID) EdgeID {
 	g.edgeAlive = append(g.edgeAlive, true)
 	g.numEdges++
 	for _, v := range att {
-		g.inc[v] = append(g.inc[v], id)
+		g.incPool = append(g.incPool, incSlot{edge: id})
+		slot := int32(len(g.incPool)) // 1-based
+		lst := &g.inc[v]
+		if lst.tail == 0 {
+			lst.head = slot
+		} else {
+			g.incPool[lst.tail-1].next = slot
+		}
+		lst.tail = slot
+		lst.deg++
 	}
 	return id
 }
 
-// Reserve pre-grows the edge tables and the attachment arena so the
-// next edges additional AddEdge calls (carrying attLen attachment
-// nodes in total) do not reallocate them. Incidence lists still grow
-// per node.
+// Reserve pre-grows the edge tables, the attachment arena and the
+// incidence arena so the next edges additional AddEdge calls (carrying
+// attLen attachment nodes in total) do not reallocate them. Every
+// attachment node consumes exactly one incidence slot, so attLen also
+// bounds the incidence-arena growth.
 func (g *Graph) Reserve(edges, attLen int) {
 	g.edges = slices.Grow(g.edges, edges)
 	g.edgeAlive = slices.Grow(g.edgeAlive, edges)
 	g.att = slices.Grow(g.att, attLen)
+	g.incPool = slices.Grow(g.incPool, attLen)
 }
 
 // Edge returns the edge with the given ID. The result aliases graph
@@ -179,7 +215,8 @@ func (g *Graph) attOf(e *Edge) []NodeID {
 // must not be mutated.
 func (g *Graph) Att(id EdgeID) []NodeID { return g.attOf(g.Edge(id)) }
 
-// RemoveEdge tombstones an edge. Incidence entries are cleaned lazily.
+// RemoveEdge tombstones an edge. Incidence-chain entries are unlinked
+// lazily by the next traversal of each attached node's chain.
 func (g *Graph) RemoveEdge(id EdgeID) {
 	if !g.HasEdge(id) {
 		panic(fmt.Sprintf("hypergraph: RemoveEdge: edge %d not alive", id))
@@ -188,7 +225,7 @@ func (g *Graph) RemoveEdge(id EdgeID) {
 	g.numEdges--
 	for _, v := range g.attOf(&g.edges[id]) {
 		if g.HasNode(v) {
-			g.incDead[v]++
+			g.inc[v].deg--
 		}
 	}
 }
@@ -206,47 +243,68 @@ func (g *Graph) RemoveNode(v NodeID) {
 		panic(fmt.Sprintf("hypergraph: RemoveNode: node %d still has incident edges", v))
 	}
 	g.nodeAlive[v] = false
-	g.inc[v] = nil
-	g.incDead[v] = 0
+	// Abandon the chain; its slots stay in the arena until the graph is
+	// cloned or compacted.
+	g.inc[v] = incList{}
 	g.numNodes--
 }
 
-// compactInc removes dead entries from v's incidence list.
-func (g *Graph) compactInc(v NodeID) {
-	if g.incDead[v] == 0 {
-		return
-	}
-	lst := g.inc[v][:0]
-	for _, id := range g.inc[v] {
-		if g.edgeAlive[id] {
-			lst = append(lst, id)
-		}
-	}
-	g.inc[v] = lst
-	g.incDead[v] = 0
+// Incident returns the alive edges incident with v in insertion order.
+// The slice is freshly allocated on every call: it exists for tests
+// and for callers that need a mutation-stable snapshot. Code on any
+// hot path should iterate with IncidentSeq (which copies nothing) or
+// snapshot into a reused buffer with AppendIncident.
+func (g *Graph) Incident(v NodeID) []EdgeID {
+	return g.AppendIncident(make([]EdgeID, 0, g.inc[v].deg), v)
 }
 
-// Incident returns the alive edges incident with v in insertion order.
-// The returned slice aliases graph storage and is invalidated by
-// mutations.
-func (g *Graph) Incident(v NodeID) []EdgeID {
-	g.compactInc(v)
-	return g.inc[v]
+// AppendIncident appends the alive edges incident with v in insertion
+// order to dst and returns it — the allocation-free form of Incident
+// for callers that reuse a snapshot buffer across nodes.
+func (g *Graph) AppendIncident(dst []EdgeID, v NodeID) []EdgeID {
+	for id := range g.IncidentSeq(v) {
+		dst = append(dst, id)
+	}
+	return dst
 }
 
 // IncidentSeq iterates the alive edges incident with v in insertion
-// order without exposing (or copying) the incidence list. The loop
-// body must not mutate v's incidence (no edge additions or removals
-// touching v, and no calls that compact it, such as Degree or
-// Incident on v); callers that need to mutate while iterating should
-// copy Incident(v) first.
+// order by walking v's incidence chain, unlinking tombstoned entries
+// in passing (so repeated traversals do not re-skip them). The loop
+// body must not mutate v's incidence (no edge additions touching v,
+// and no concurrent traversal of v's chain — including Incident,
+// AppendIncident or AppendNeighbors on v); callers that need to
+// mutate while iterating should snapshot with AppendIncident first.
+// Removing the yielded edge itself, and adding or removing edges that
+// do not touch v, are safe.
 func (g *Graph) IncidentSeq(v NodeID) iter.Seq[EdgeID] {
 	return func(yield func(EdgeID) bool) {
-		g.compactInc(v)
-		for _, id := range g.inc[v] {
-			if g.edgeAlive[id] && !yield(id) {
+		prev := int32(0)
+		cur := g.inc[v].head
+		for cur != 0 {
+			s := &g.incPool[cur-1]
+			next := s.next
+			if !g.edgeAlive[s.edge] {
+				// Unlink the dead slot (lazy compaction).
+				if prev == 0 {
+					g.inc[v].head = next
+				} else {
+					g.incPool[prev-1].next = next
+				}
+				if next == 0 {
+					g.inc[v].tail = prev
+				}
+				cur = next
+				continue
+			}
+			// Read next before yielding: the body may remove this edge
+			// or grow the arena (edges not touching v), and must only
+			// observe the chain through fresh indices afterwards.
+			if !yield(s.edge) {
 				return
 			}
+			prev = cur
+			cur = next
 		}
 	}
 }
@@ -257,7 +315,7 @@ func (g *Graph) IncidentSeq(v NodeID) iter.Seq[EdgeID] {
 // reuse a buffer across nodes.
 func (g *Graph) AppendNeighbors(dst []NodeID, v NodeID) []NodeID {
 	base := len(dst)
-	for _, id := range g.Incident(v) {
+	for id := range g.IncidentSeq(v) {
 		for _, u := range g.attOf(&g.edges[id]) {
 			if u != v {
 				dst = append(dst, u)
@@ -276,10 +334,9 @@ func (g *Graph) AppendNeighbors(dst []NodeID, v NodeID) []NodeID {
 	return dst[:w]
 }
 
-// Degree returns the number of alive edges incident with v.
+// Degree returns the number of alive edges incident with v in O(1).
 func (g *Graph) Degree(v NodeID) int {
-	g.compactInc(v)
-	return len(g.inc[v])
+	return int(g.inc[v].deg)
 }
 
 // AttPos returns the position (0-based) of v in att(e), or -1.
@@ -405,37 +462,42 @@ func (g *Graph) TotalSize() int { return g.numNodes + g.EdgeSize() }
 // Clone returns a deep copy of the graph, compacted: dead nodes and
 // edges are dropped but IDs of alive nodes are preserved; edge IDs are
 // renumbered densely in ascending order of the old IDs. Attachments
-// are packed into one freshly sized arena, so the copy makes a
-// constant number of allocations besides the incidence lists.
+// and incidence chains are packed into freshly sized arenas — each
+// node's chain occupies one contiguous arena segment, so traversals of
+// the clone walk sequential memory — and the copy makes a constant
+// number of allocations.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		nodeAlive: append([]bool(nil), g.nodeAlive...),
 		numNodes:  g.numNodes,
-		inc:       make([][]EdgeID, len(g.inc)),
-		incDead:   make([]int32, len(g.incDead)),
+		inc:       make([]incList, len(g.inc)),
 		extIndex:  append([]int32(nil), g.extIndex...),
 		ext:       append([]NodeID(nil), g.ext...),
 	}
 	attLen := 0
-	deg := make([]int32, len(g.inc))
 	for id, e := range g.edges {
 		if g.edgeAlive[id] {
 			attLen += int(e.rank)
 			for _, v := range g.attOf(&g.edges[id]) {
-				deg[v]++
+				c.inc[v].deg++
 			}
 		}
 	}
-	// Carve every incidence list out of one flat block with exact
-	// capacity (appends beyond a node's segment reallocate, they
-	// cannot clobber a neighbor), instead of append-growing |V| tiny
-	// slices.
-	incFlat := make([]EdgeID, attLen)
-	pos := int32(0)
+	// Carve every incidence chain out of one exactly sized arena:
+	// node v's slots are the contiguous 1-based range
+	// [head, head+deg), chained in ascending order; a per-node cursor
+	// (reusing tail) tracks the next free slot while edges are copied
+	// in ascending new-ID order, which reproduces insertion order.
+	c.incPool = make([]incSlot, attLen)
+	pos := int32(1)
 	for v := range c.inc {
-		if deg[v] > 0 {
-			c.inc[v] = incFlat[pos : pos : pos+deg[v]]
-			pos += deg[v]
+		if d := c.inc[v].deg; d > 0 {
+			c.inc[v].head = pos
+			c.inc[v].tail = pos // fill cursor; final tail = pos+d-1
+			for s := pos; s < pos+d-1; s++ {
+				c.incPool[s-1].next = s + 1
+			}
+			pos += d
 		}
 	}
 	c.edges = make([]Edge, 0, g.numEdges)
@@ -453,7 +515,14 @@ func (g *Graph) Clone() *Graph {
 		c.edgeAlive = append(c.edgeAlive, true)
 		c.numEdges++
 		for _, v := range g.attOf(e) {
-			c.inc[v] = append(c.inc[v], nid)
+			c.incPool[c.inc[v].tail-1].edge = nid
+			c.inc[v].tail++
+		}
+	}
+	// Rewind the fill cursors to the real chain tails.
+	for v := range c.inc {
+		if c.inc[v].deg > 0 {
+			c.inc[v].tail--
 		}
 	}
 	return c

@@ -292,16 +292,15 @@ func TestWarmAddEdgeAllocs(t *testing.T) {
 			g.AddEdge(1, 1, 2)
 		}
 	})
-	// 4 growing slices (edges, edgeAlive, att, inc) × ~10 doublings
+	// 4 growing slices (edges, edgeAlive, att, incPool) × ~10 doublings
 	// each ≈ 40; the pre-arena layout allocated ≥ n.
 	if allocs > n/10 {
 		t.Fatalf("adding %d edges allocated %.0f times; per-edge attachment allocation is back", n, allocs)
 	}
 
-	// With reserved edge/attachment capacity and warm incidence lists,
-	// AddEdge must not allocate at all. Warm to 900 entries so the
-	// incidence lists sit below their power-of-two capacity (1024) with
-	// room for the measured adds.
+	// With reserved edge/attachment/incidence capacity AddEdge must not
+	// allocate at all (incidence lives in the shared chain arena, so
+	// there is no per-node doubling left to warm up).
 	g2 := New(2)
 	for i := 0; i < 900; i++ {
 		g2.AddEdge(1, 1, 2)

@@ -1,0 +1,164 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIncidenceChainOrder replays randomized add/remove sequences and
+// checks after every step that IncidentSeq yields exactly the alive
+// incident edges in insertion order, against the slice-based incOracle
+// (fuzz_test.go) that appends on AddEdge and filters on RemoveEdge.
+// This pins the contract the compressor's byte-identical output
+// depends on: the chained arena must reproduce the iteration order of
+// the pre-arena per-node incidence slices.
+func TestIncidenceChainOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		o := newIncOracle(n)
+		var alive []EdgeID
+		for step := 0; step < 300; step++ {
+			if len(alive) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(alive))
+				id := alive[i]
+				g.RemoveEdge(id)
+				o.removeEdge(id)
+				alive = append(alive[:i], alive[i+1:]...)
+			} else {
+				u := NodeID(1 + rng.Intn(n))
+				v := NodeID(1 + rng.Intn(n))
+				if u == v {
+					continue
+				}
+				id := g.AddEdge(Label(1+rng.Intn(3)), u, v)
+				o.addEdge(id, u, v)
+				alive = append(alive, id)
+			}
+			o.check(t, g, step)
+		}
+	}
+}
+
+// TestIncidentIsASnapshot pins the new Incident contract: the returned
+// slice is a fresh copy, stable across later mutations.
+func TestIncidentIsASnapshot(t *testing.T) {
+	g := New(3)
+	e1 := g.AddEdge(1, 1, 2)
+	e2 := g.AddEdge(2, 2, 3)
+	snap := g.Incident(2)
+	g.RemoveEdge(e1)
+	g.AddEdge(3, 1, 2)
+	if len(snap) != 2 || snap[0] != e1 || snap[1] != e2 {
+		t.Fatalf("snapshot changed under mutation: %v", snap)
+	}
+	if got := g.Incident(2); len(got) != 2 || got[0] != e2 {
+		t.Fatalf("Incident(2) after mutation = %v", got)
+	}
+}
+
+// TestIncidentSeqUnlinksDeadSlots checks the lazy chain compaction: a
+// traversal that skips tombstoned entries removes them, so removing
+// the head, middle and tail of a chain leaves subsequent traversals
+// with exactly the alive entries (this is white-box: it inspects the
+// chain via AppendIncident after a priming walk).
+func TestIncidentSeqUnlinksDeadSlots(t *testing.T) {
+	g := New(2)
+	var ids []EdgeID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, g.AddEdge(1, 1, 2))
+	}
+	g.RemoveEdge(ids[0]) // head
+	g.RemoveEdge(ids[2]) // middle
+	g.RemoveEdge(ids[4]) // tail
+	for walk := 0; walk < 2; walk++ {
+		got := g.AppendIncident(nil, 1)
+		if len(got) != 2 || got[0] != ids[1] || got[1] != ids[3] {
+			t.Fatalf("walk %d: AppendIncident = %v, want [%d %d]", walk, got, ids[1], ids[3])
+		}
+	}
+	// The chain must still accept appends after its tail was unlinked.
+	e := g.AddEdge(2, 1, 2)
+	got := g.AppendIncident(nil, 1)
+	if len(got) != 3 || got[2] != e {
+		t.Fatalf("append after tail unlink: %v", got)
+	}
+}
+
+// TestReservedAddEdgeArenaAllocs pins the tentpole property of the
+// incidence arena: with reserved edge, attachment and incidence
+// capacity, AddEdge performs no allocation at all — no per-node
+// incidence-list doubling remains.
+func TestReservedAddEdgeArenaAllocs(t *testing.T) {
+	g := New(4)
+	g.Reserve(3000, 6000)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		g.AddEdge(1, 1, 2)
+	}); allocs != 0 {
+		t.Fatalf("reserved AddEdge allocates %v/op, want 0", allocs)
+	}
+	// Hyperedges consume one incidence slot per attachment node, so a
+	// rank-3 edge is covered by the same attLen reservation.
+	g2 := New(3)
+	g2.Reserve(1500, 4500)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		g2.AddEdge(1, 1, 2, 3)
+	}); allocs != 0 {
+		t.Fatalf("reserved rank-3 AddEdge allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestWeakComponentsIntoMatchesWeakComponents cross-checks the flat
+// component computation against the slice-shaped public API.
+func TestWeakComponentsIntoMatchesWeakComponents(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for i := 0; i < n/2; i++ {
+			u := NodeID(1 + rng.Intn(n))
+			v := NodeID(1 + rng.Intn(n))
+			if u != v {
+				g.AddEdge(1, u, v)
+			}
+		}
+		comps := g.WeakComponents()
+		var cs Components
+		got := g.WeakComponentsInto(&cs)
+		if got != len(comps) {
+			t.Fatalf("seed %d: %d components, want %d", seed, got, len(comps))
+		}
+		for i, comp := range comps {
+			if cs.Reps[i] != comp[0] {
+				t.Fatalf("seed %d: rep[%d] = %d, want %d", seed, i, cs.Reps[i], comp[0])
+			}
+			for _, v := range comp {
+				if cs.Comp[v] != int32(i) {
+					t.Fatalf("seed %d: Comp[%d] = %d, want %d", seed, v, cs.Comp[v], i)
+				}
+			}
+		}
+	}
+}
+
+// TestWeakComponentsIntoAllocs pins the satellite claim: with warm
+// scratch, component discovery allocates nothing.
+func TestWeakComponentsIntoAllocs(t *testing.T) {
+	g := New(200)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		u := NodeID(1 + rng.Intn(200))
+		v := NodeID(1 + rng.Intn(200))
+		if u != v {
+			g.AddEdge(1, u, v)
+		}
+	}
+	var cs Components
+	g.WeakComponentsInto(&cs) // warm the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		g.WeakComponentsInto(&cs)
+	}); allocs != 0 {
+		t.Fatalf("warm WeakComponentsInto allocates %v/op, want 0", allocs)
+	}
+}

@@ -2,8 +2,9 @@ package hypergraph
 
 import (
 	"fmt"
-	"slices"
 	"sort"
+
+	"graphrepair/internal/buf"
 )
 
 // Triple is a directed labeled edge (s, p, o) in RDF reading order:
@@ -62,7 +63,7 @@ func (g *Graph) Triples() []Triple {
 // ascending. Hyperedges are ignored.
 func (g *Graph) OutNeighbors(v NodeID) []NodeID {
 	var out []NodeID
-	for _, id := range g.Incident(v) {
+	for id := range g.IncidentSeq(v) {
 		e := &g.edges[id]
 		if e.rank == 2 && g.att[e.off] == v {
 			out = append(out, g.att[e.off+1])
@@ -75,7 +76,7 @@ func (g *Graph) OutNeighbors(v NodeID) []NodeID {
 // ascending. Hyperedges are ignored.
 func (g *Graph) InNeighbors(v NodeID) []NodeID {
 	var out []NodeID
-	for _, id := range g.Incident(v) {
+	for id := range g.IncidentSeq(v) {
 		e := &g.edges[id]
 		if e.rank == 2 && g.att[e.off+1] == v {
 			out = append(out, g.att[e.off])
@@ -88,7 +89,7 @@ func (g *Graph) InNeighbors(v NodeID) []NodeID {
 // (any rank, any direction), ascending, excluding v itself.
 func (g *Graph) Neighbors(v NodeID) []NodeID {
 	var out []NodeID
-	for _, id := range g.Incident(v) {
+	for id := range g.IncidentSeq(v) {
 		for _, u := range g.attOf(&g.edges[id]) {
 			if u != v {
 				out = append(out, u)
@@ -178,36 +179,88 @@ func EqualHyper(a, b *Graph) bool {
 	return true
 }
 
-// WeakComponents returns the weakly connected components of the graph
-// (hyperedges connect all their attached nodes). Each component lists
-// its nodes ascending; components are ordered by smallest node.
-func (g *Graph) WeakComponents() [][]NodeID {
-	visited := make([]bool, len(g.nodeAlive))
-	var comps [][]NodeID
+// Components is the reusable state behind WeakComponentsInto: a flat
+// component-index array plus per-component representatives, grown
+// lazily and reused across calls so the steady state allocates
+// nothing.
+type Components struct {
+	// Comp maps NodeID → component index (valid for alive nodes only).
+	Comp []int32
+	// Reps holds each component's smallest node; components are
+	// numbered in ascending order of their representative.
+	Reps  []NodeID
+	stack []NodeID
+}
+
+// WeakComponentsInto computes the weakly connected components of the
+// graph (hyperedges connect all their attached nodes) into cs and
+// returns the component count. Components are numbered by smallest
+// contained node, ascending; cs.Reps[i] is that node. All state is
+// reused, so a warm call allocates nothing — the allocation-free form
+// of WeakComponents.
+func (g *Graph) WeakComponentsInto(cs *Components) int {
+	cs.Comp = buf.GrowFill(cs.Comp, len(g.nodeAlive), -1)
+	cs.Reps = cs.Reps[:0]
+	comp := cs.Comp
+	stack := cs.stack[:0]
 	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
-		if !g.nodeAlive[v] || visited[v] {
+		if !g.nodeAlive[v] || comp[v] >= 0 {
 			continue
 		}
-		var comp []NodeID
-		stack := []NodeID{v}
-		visited[v] = true
+		// v is the smallest node of a fresh component: every smaller
+		// node of the component would already have claimed it.
+		ci := int32(len(cs.Reps))
+		cs.Reps = append(cs.Reps, v)
+		comp[v] = ci
+		stack = append(stack, v)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			comp = append(comp, u)
-			for _, id := range g.Incident(u) {
+			for id := range g.IncidentSeq(u) {
 				for _, w := range g.attOf(&g.edges[id]) {
-					if !visited[w] {
-						visited[w] = true
+					if comp[w] < 0 {
+						comp[w] = ci
 						stack = append(stack, w)
 					}
 				}
 			}
 		}
-		slices.Sort(comp)
-		comps = append(comps, comp)
 	}
-	slices.SortFunc(comps, func(a, b []NodeID) int { return int(a[0] - b[0]) })
+	cs.stack = stack
+	return len(cs.Reps)
+}
+
+// WeakComponents returns the weakly connected components of the graph.
+// Each component lists its nodes ascending; components are ordered by
+// smallest node. The nested slices are freshly allocated; callers that
+// only need a component index per node should use WeakComponentsInto.
+func (g *Graph) WeakComponents() [][]NodeID {
+	var cs Components
+	n := g.WeakComponentsInto(&cs)
+	if n == 0 {
+		return nil
+	}
+	sizes := make([]int32, n)
+	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
+		if g.nodeAlive[v] {
+			sizes[cs.Comp[v]]++
+		}
+	}
+	// Carve the component node lists out of one flat block; filling in
+	// ascending node order sorts each component.
+	flat := make([]NodeID, g.numNodes)
+	comps := make([][]NodeID, n)
+	pos := int32(0)
+	for i, sz := range sizes {
+		comps[i] = flat[pos : pos : pos+sz]
+		pos += sz
+	}
+	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
+		if g.nodeAlive[v] {
+			ci := cs.Comp[v]
+			comps[ci] = append(comps[ci], v)
+		}
+	}
 	return comps
 }
 
@@ -227,7 +280,7 @@ func (g *Graph) Reachable(src, dst NodeID) bool {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, id := range g.Incident(u) {
+		for id := range g.IncidentSeq(u) {
 			e := &g.edges[id]
 			if e.rank == 2 && g.att[e.off] == u && !visited[g.att[e.off+1]] {
 				if g.att[e.off+1] == dst {

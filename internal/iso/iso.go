@@ -39,7 +39,7 @@ func colors(g *hypergraph.Graph, maxRounds int) map[hypergraph.NodeID]uint64 {
 		next := make(map[hypergraph.NodeID]uint64, len(col))
 		for _, v := range g.Nodes() {
 			var tuples []uint64
-			for _, id := range g.Incident(v) {
+			for id := range g.IncidentSeq(v) {
 				att := g.Att(id)
 				my := g.AttPos(id, v)
 				for op, u := range att {
@@ -109,7 +109,7 @@ func edgeKeyStr(label hypergraph.Label, att []hypergraph.NodeID) string {
 func (m *matcher) tryAssign(av, bv hypergraph.NodeID) (consumed []string, ok bool) {
 	m.fwd[av] = bv
 	m.rev[bv] = av
-	for _, id := range m.a.Incident(av) {
+	for id := range m.a.IncidentSeq(av) {
 		att := m.a.Att(id)
 		mapped := make([]hypergraph.NodeID, len(att))
 		full := true

@@ -212,7 +212,7 @@ func (r *Refiner) refine(g *hypergraph.Graph, maxRounds int) {
 	for i, v := range nodes {
 		start[i] = int32(total)
 		total++
-		for _, id := range g.Incident(v) {
+		for id := range g.IncidentSeq(v) {
 			total += len(g.Att(id)) - 1
 		}
 	}
@@ -229,7 +229,7 @@ func (r *Refiner) refine(g *hypergraph.Graph, maxRounds int) {
 			s := sig(int32(i))
 			s[0] = color[v]
 			w := 1
-			for _, id := range g.Incident(v) {
+			for id := range g.IncidentSeq(v) {
 				att := g.Att(id)
 				lab := int64(g.Label(id))
 				myPos := int64(g.AttPos(id, v))

@@ -30,7 +30,7 @@ func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
 	resolveHost := func(w hypergraph.NodeID) int64 { return e.resolveUp(&loc, level, w) }
 
 	var out []int64
-	for _, id := range h.Incident(loc.Node) {
+	for id := range h.IncidentSeq(loc.Node) {
 		if lab := h.Label(id); e.g.IsTerminal(lab) {
 			if u, ok := terminalNeighbor(h.Att(id), loc.Node, dir); ok {
 				out = append(out, resolveHost(u))
@@ -105,7 +105,7 @@ func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
 		}
 		return base + ri.intIndex[w] + 1
 	}
-	for _, eid := range rhs.Incident(x) {
+	for eid := range rhs.IncidentSeq(x) {
 		if lab := rhs.Label(eid); e.g.IsTerminal(lab) {
 			if u, ok := terminalNeighbor(rhs.Att(eid), x, dir); ok {
 				*out = append(*out, resolveHere(u))
