@@ -103,6 +103,31 @@ func TestHotPathAllocationBudgets(t *testing.T) {
 	}
 }
 
+// TestRuleBuilderAllocs pins the rule materialization budget: with the
+// builder's mapped-attachment and external buffers warm, building a
+// rule graph costs exactly the rule's own backing storage — the
+// NewReserved handful (graph struct, bool block, incidence headers,
+// extIndex, edge table, NodeID block, incidence arena), nothing from
+// mapping, AddEdge growth or SetExt. The pre-builder path allocated
+// roughly twice that per rule and was ~58% of the compressor's
+// surviving objects on dblp60-70.
+func TestRuleBuilderAllocs(t *testing.T) {
+	c := warmCompressor(t, chainGraph(64), 2)
+	u := hypergraph.NodeID(3)
+	x, y := adjacentPairAt(t, c, u)
+	co := canonicalizeInto(c.g, x, y, &c.co3, &c.co4)
+	rhs := c.ruleB.build(c.g, co) // warm the pooled buffers
+	if rhs.NumEdges() != 2 || rhs.Rank() != co.rank() {
+		t.Fatalf("builder produced %d edges rank %d, want 2 edges rank %d",
+			rhs.NumEdges(), rhs.Rank(), co.rank())
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c.ruleB.build(c.g, co)
+	}); n > 7 {
+		t.Errorf("rule builder allocates %v/op, want <= 7 (the rule graph's own arrays)", n)
+	}
+}
+
 // TestAvailGroupArenaSteadyStateAllocs drives the availability-group
 // arena directly: pushing candidates under shuffled keys for every
 // node — exercising head, middle and tail insertion into each node's

@@ -1,11 +1,85 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"graphrepair/internal/hypergraph"
 )
+
+// TestDigramOccChainArenaOrder replays randomized append sequences
+// interleaved across digrams (with a mid-run stage reset) and checks
+// that every digram's chain visits its occurrences in exact append
+// order, against a slice oracle — mirroring TestIncidenceChainOrder.
+// replaceDigram's two-pass iteration (collect live occurrences, then
+// replace them) reads this chain, so the grammar output depends on
+// append order being preserved.
+func TestDigramOccChainArenaOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var s digramOccs
+		var pool []digramInfo
+		oracle := map[int][]int32{}
+		s.reset()
+		for step := 0; step < 600; step++ {
+			if step == 300 {
+				// Stage boundary: arena truncated, digrams rebuilt.
+				s.reset()
+				pool = pool[:0]
+				oracle = map[int][]int32{}
+			}
+			if len(pool) == 0 || rng.Intn(5) == 0 {
+				pool = appendDigram(pool, digramKey{la: hypergraph.Label(len(pool) + 1)})
+			}
+			di := rng.Intn(len(pool))
+			oi := int32(step)
+			s.add(&pool[di], oi)
+			oracle[di] = append(oracle[di], oi)
+			// Verify every chain after every step, like the incidence
+			// oracle does.
+			for d := range pool {
+				var got []int32
+				for i := pool[d].occHead; i != noEntry; i = s.pool[i].next {
+					got = append(got, s.pool[i].oi)
+				}
+				want := oracle[d]
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d: digram %d chain %v, want %v", seed, step, d, got, want)
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("seed %d step %d: digram %d chain %v, want %v (append order)", seed, step, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDigramOccChainArenaAllocs pins the warm chain arena to zero
+// allocations: once the pool is at its high-water capacity, a stage's
+// worth of occurrence appends allocates nothing.
+func TestDigramOccChainArenaAllocs(t *testing.T) {
+	var s digramOccs
+	var pool []digramInfo
+	for i := 0; i < 8; i++ {
+		pool = appendDigram(pool, digramKey{la: hypergraph.Label(i + 1)})
+	}
+	fill := func() {
+		s.reset()
+		for i := range pool {
+			pool[i].occHead, pool[i].occTail = noEntry, noEntry
+		}
+		for k := 0; k < 200; k++ {
+			s.add(&pool[k%len(pool)], int32(k))
+		}
+	}
+	fill() // reach the high-water mark
+	if n := testing.AllocsPerRun(100, fill); n != 0 {
+		t.Errorf("warm digram occurrence chains allocate %v/op, want 0", n)
+	}
+}
 
 // TestEdgeOccsChainOrder pins the arena's iteration contract: each
 // edge's chain yields its entries in insertion order (the replacement

@@ -268,8 +268,11 @@ type compressor struct {
 	// iteration is never used for anything order-sensitive).
 	digrams    map[digramKey]int32
 	digramPool []digramInfo
-	// occPool is the arena behind all occurrence references.
+	// occPool is the arena behind all occurrence references; digOccs
+	// chains each digram's occurrences through a shared per-stage
+	// arena in append order (see digramOccs).
 	occPool []occurrence
+	digOccs digramOccs
 	pq      bucketQueue
 	// occs holds every edge's occurrence list and used-key set in one
 	// shared per-stage arena (chained entries, insertion order
@@ -292,6 +295,10 @@ type compressor struct {
 	// stage, reused so component discovery is allocation-free once
 	// warm.
 	comps hypergraph.Components
+
+	// ruleB stages rule-graph materialization in pooled buffers so a
+	// created rule costs only its own exactly-reserved backing arrays.
+	ruleB ruleGraphBuilder
 
 	ranks map[hypergraph.Label]int // ranks of created nonterminals
 	stats Stats
@@ -326,6 +333,7 @@ func (c *compressor) stageInit() {
 	clear(c.digrams)
 	c.digramPool = c.digramPool[:0]
 	c.occPool = c.occPool[:0]
+	c.digOccs.reset()
 	c.pq.reset(c.g.NumEdges())
 	c.occs.reset(int(c.g.MaxEdgeID()))
 	c.availPool = c.availPool[:0]
@@ -459,7 +467,7 @@ func (c *compressor) tryCount(u hypergraph.NodeID, x, y hypergraph.EdgeID) int32
 	}
 	oi := int32(len(c.occPool))
 	c.occPool = append(c.occPool, occurrence{e1: int32(x), e2: int32(y), dig: di})
-	d.occs = append(d.occs, oi)
+	c.digOccs.add(d, oi)
 	d.count++
 	c.occs.add(x, h, oi)
 	c.occs.add(y, h, oi)
@@ -484,8 +492,13 @@ func (c *compressor) replaceDigram(di int32) {
 	c.digramPool[di].retired = true
 	key := c.digramPool[di].key
 
+	// First pass: walk the occurrence chain in append order, keeping
+	// the live occurrences; the second pass below replaces them. The
+	// chain is never appended to between the passes (the digram is
+	// retired), so the reused liveBuf snapshot is stable.
 	live := c.liveBuf[:0]
-	for _, oi := range c.digramPool[di].occs {
+	for i := c.digramPool[di].occHead; i != noEntry; i = c.digOccs.pool[i].next {
+		oi := c.digOccs.pool[i].oi
 		o := &c.occPool[oi]
 		if !o.dead && c.g.HasEdge(hypergraph.EdgeID(o.e1)) && c.g.HasEdge(hypergraph.EdgeID(o.e2)) {
 			live = append(live, oi)
@@ -513,7 +526,7 @@ func (c *compressor) replaceDigram(di int32) {
 		c.attBuf = co.appendAttachment(c.attBuf[:0])
 		if nt == 0 {
 			// First admissible occurrence: materialize the rule.
-			nt = c.gram.AddRule(ruleGraph(c.g, co))
+			nt = c.gram.AddRule(c.ruleB.build(c.g, co))
 			c.ranks[nt] = co.rank()
 			c.stats.Rounds++
 		}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"maps"
+	"testing"
+
+	"graphrepair/internal/core/reference"
+	"graphrepair/internal/encoding"
+	"graphrepair/internal/gen"
+	"graphrepair/internal/hypergraph"
+	"graphrepair/internal/iso"
+	"graphrepair/internal/order"
+)
+
+// The differential harness runs the arena compressor and the naive
+// reference compressor (internal/core/reference) over the same inputs
+// and asserts they produce identical grammars: equal stats, equal rule
+// counts, byte-identical encodings, and a derivation isomorphic to the
+// input. The golden hashes pin the optimized compressor to 60 fixed
+// corpora; the differential pins it to an executable specification on
+// arbitrary inputs, so every future arena rewrite is checked against
+// semantics, not just bytes (DESIGN.md §10).
+
+// refOptions mirrors core Options into the reference package's copy.
+func refOptions(o Options) reference.Options {
+	return reference.Options{
+		MaxRank:           o.MaxRank,
+		Order:             o.Order,
+		Seed:              o.Seed,
+		ConnectComponents: o.ConnectComponents,
+		SkipPrune:         o.SkipPrune,
+		SinglePass:        o.SinglePass,
+	}
+}
+
+// checkDifferential compresses g with both compressors and fails on
+// any observable divergence. When deriveCheck is true the reference
+// grammar is also derived and checked isomorphic to the input (the
+// encodings being byte-identical, this covers the arena grammar too).
+func checkDifferential(t *testing.T, g *hypergraph.Graph, labels hypergraph.Label, opts Options, deriveCheck bool) {
+	t.Helper()
+	res, err := Compress(g, labels, opts)
+	if err != nil {
+		t.Fatalf("arena compressor: %v", err)
+	}
+	ref, err := reference.Compress(g, labels, refOptions(opts))
+	if err != nil {
+		t.Fatalf("reference compressor: %v", err)
+	}
+	if res.Grammar.NumRules() != ref.Grammar.NumRules() {
+		t.Errorf("rule count: arena %d, reference %d", res.Grammar.NumRules(), ref.Grammar.NumRules())
+	}
+	refStats := Stats{
+		Rounds:            ref.Stats.Rounds,
+		Replacements:      ref.Stats.Replacements,
+		RulesPruned:       ref.Stats.RulesPruned,
+		VirtualEdges:      ref.Stats.VirtualEdges,
+		SkippedDuplicates: ref.Stats.SkippedDuplicates,
+		FPClasses:         ref.Stats.FPClasses,
+	}
+	if res.Stats != refStats {
+		t.Errorf("stats: arena %+v, reference %+v", res.Stats, refStats)
+	}
+	if !maps.Equal(res.StartNodeMap, ref.StartNodeMap) {
+		t.Errorf("start-node maps differ: arena %d entries, reference %d", len(res.StartNodeMap), len(ref.StartNodeMap))
+	}
+	bufA, _, err := encoding.Encode(res.Grammar)
+	if err != nil {
+		t.Fatalf("encode arena grammar: %v", err)
+	}
+	bufR, _, err := encoding.Encode(ref.Grammar)
+	if err != nil {
+		t.Fatalf("encode reference grammar: %v", err)
+	}
+	if !bytes.Equal(bufA, bufR) {
+		t.Errorf("encoded grammars differ: arena %d bytes, reference %d bytes", len(bufA), len(bufR))
+	}
+	if t.Failed() || !deriveCheck {
+		return
+	}
+	derived, err := ref.Grammar.Derive(int64(g.NumNodes()) + 16)
+	if err != nil {
+		t.Fatalf("derive reference grammar: %v", err)
+	}
+	if g.NumNodes() <= isoNodeLimit {
+		if !iso.Isomorphic(g, derived) {
+			t.Error("reference derivation not isomorphic to input")
+		}
+	} else {
+		checkStructuralEquiv(t, g, derived)
+	}
+}
+
+// TestDifferentialCatalog runs the differential over the full
+// generator catalog with the paper's default configuration.
+func TestDifferentialCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential catalog sweep is seconds-per-model; skipped in -short")
+	}
+	for _, name := range gen.Names("") {
+		t.Run(name, func(t *testing.T) {
+			d, err := gen.Generate(name, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkDifferential(t, d.Graph, d.Labels, DefaultOptions(), true)
+		})
+	}
+}
+
+// TestDifferentialScales re-runs the differential at scales where the
+// generators produce different graphs (mirroring the round-trip
+// harness's scale split).
+func TestDifferentialScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential scale sweep is seconds-per-model; skipped in -short")
+	}
+	for _, name := range []string{"rdf-types-ru", "wiki-talk", "notredame", "rdf-jamendo"} {
+		for _, scale := range []int{512, 2048} {
+			t.Run(fmt.Sprintf("%s/scale%d", name, scale), func(t *testing.T) {
+				d, err := gen.Generate(name, scale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkDifferential(t, d.Graph, d.Labels, DefaultOptions(), true)
+			})
+		}
+	}
+}
+
+// TestDifferentialMatrix sweeps node order × MaxRank (plus the prune
+// and single-pass toggles) on one small model per workload family: the
+// configuration axes that steer the compressor down different
+// replacement paths must all agree with the reference.
+func TestDifferentialMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("order × MaxRank differential sweep is seconds-per-model; skipped in -short")
+	}
+	models := []string{"ca-grqc", "rdf-identica", "ttt", "wiki-vote"}
+	for _, name := range models {
+		d, err := gen.Generate(name, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range order.Kinds {
+			for _, mr := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("%s/%s/maxRank%d", name, k, mr), func(t *testing.T) {
+					opts := Options{MaxRank: mr, Order: k, Seed: 7, ConnectComponents: true}
+					checkDifferential(t, d.Graph, d.Labels, opts, false)
+				})
+			}
+		}
+		t.Run(fmt.Sprintf("%s/noPrune-singlePass", name), func(t *testing.T) {
+			opts := Options{MaxRank: 4, Order: order.FP, SkipPrune: true, SinglePass: true}
+			checkDifferential(t, d.Graph, d.Labels, opts, false)
+		})
+	}
+}

@@ -280,34 +280,47 @@ func canonicalizeInto(g *hypergraph.Graph, e1, e2 hypergraph.EdgeID, co, tmp *ca
 	return co
 }
 
-// ruleGraph materializes the digram hypergraph for a canonical
-// occurrence: nodes 1..len(locals) standing for the local nodes,
-// the two edges with their labels, and the external sequence in
-// ascending local order (so external-node IDs are ascending, as the
-// encoder requires). This runs once per created rule, not per
-// candidate, so it may allocate.
-func ruleGraph(g *hypergraph.Graph, c *canonOcc) *hypergraph.Graph {
-	rhs := hypergraph.New(len(c.locals))
-	node := func(v hypergraph.NodeID) hypergraph.NodeID {
-		for i, u := range c.locals {
-			if u == v {
-				return hypergraph.NodeID(i + 1)
+// ruleGraphBuilder materializes rule right-hand sides: the digram
+// hypergraph of a canonical occurrence, with nodes 1..len(locals)
+// standing for the local nodes, the two edges with their labels, and
+// the external sequence in ascending local order (so external-node
+// IDs are ascending, as the encoder requires). The occurrence's
+// canonical form fixes every size up front (node count, the two edge
+// ranks, the external count), so the graph is constructed through
+// hypergraph.NewReserved at exact capacity and the mapped attachments
+// and external sequence are staged in pooled buffers reused across all
+// rules of a run — the per-rule `New`+`make`+`AddEdge`+`SetExt` growth
+// churn this replaces was ~58% of the compressor's surviving objects
+// on dblp60-70 (DESIGN.md §10). Only the rule graph's own backing
+// arrays (which outlive the compressor inside the grammar) are
+// allocated, a fixed handful per rule, pinned by
+// TestRuleBuilderAllocs.
+type ruleGraphBuilder struct {
+	mapped []hypergraph.NodeID // pooled mapped-attachment buffer
+	ext    []hypergraph.NodeID // pooled external-sequence buffer
+}
+
+// build materializes the rule graph for canonical occurrence c of g.
+func (b *ruleGraphBuilder) build(g *hypergraph.Graph, c *canonOcc) *hypergraph.Graph {
+	ra, rb := g.Edge(c.a).Rank(), g.Edge(c.b).Rank()
+	rhs := hypergraph.NewReserved(len(c.locals), 2, ra+rb, len(c.extLoc))
+	for _, e := range [2]hypergraph.EdgeID{c.a, c.b} {
+		mapped := b.mapped[:0]
+		for _, v := range g.Att(e) {
+			i := localIndex(c.locals, v)
+			if i < 0 {
+				panic("core: ruleGraphBuilder: node not local")
 			}
+			mapped = append(mapped, hypergraph.NodeID(i+1))
 		}
-		panic("core: ruleGraph: node not local")
-	}
-	for _, e := range []hypergraph.EdgeID{c.a, c.b} {
-		att := g.Att(e)
-		mapped := make([]hypergraph.NodeID, len(att))
-		for i, v := range att {
-			mapped[i] = node(v)
-		}
+		b.mapped = mapped
 		rhs.AddEdge(g.Label(e), mapped...)
 	}
-	ext := make([]hypergraph.NodeID, len(c.extLoc))
-	for i, l := range c.extLoc {
-		ext[i] = hypergraph.NodeID(l + 1)
+	ext := b.ext[:0]
+	for _, l := range c.extLoc {
+		ext = append(ext, hypergraph.NodeID(l+1))
 	}
+	b.ext = ext
 	rhs.SetExt(ext...)
 	return rhs
 }

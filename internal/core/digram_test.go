@@ -166,7 +166,8 @@ func TestCanonicalOccurrenceInvariants(t *testing.T) {
 		if co.rank() < 1 || co.rank() > 4 {
 			return true // ruleGraph only invoked for admissible ranks
 		}
-		rhs := ruleGraph(g, co)
+		var rb ruleGraphBuilder
+		rhs := rb.build(g, co)
 		if rhs.Rank() != co.rank() || rhs.NumEdges() != 2 {
 			return false
 		}
@@ -196,7 +197,8 @@ func TestKeyDeterminesRuleGraph(t *testing.T) {
 			continue
 		}
 		co := canonTest(g, e1, e2)
-		rhs := ruleGraph(g, co)
+		var rb ruleGraphBuilder
+		rhs := rb.build(g, co)
 		if prev, seen := byKey[co.key]; seen {
 			if !hypergraph.EqualHyper(prev, rhs) {
 				t.Fatalf("same key, different rule graphs")

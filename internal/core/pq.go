@@ -17,65 +17,84 @@ type occurrence struct {
 // noDigram is the sentinel index for "no digram".
 const noDigram int32 = -1
 
-// digramInfo tracks one active digram: its occurrence list and its
-// position in the frequency priority queue. Infos live in the
-// compressor's digramPool arena; occs holds occPool indices.
+// digramInfo tracks one active digram: its occurrence chain (head and
+// tail into the compressor's shared digOccs arena, append order
+// preserved) and its position in the frequency priority queue. Infos
+// live in the compressor's digramPool arena.
 type digramInfo struct {
-	key      digramKey
-	occs     []int32 // occPool indices
-	count    int32   // live occurrences
-	queuedAt int32   // bucket the digram was last enqueued into (-1: none)
-	retired  bool
+	key              digramKey
+	occHead, occTail int32 // digOccs chain ends, noEntry when empty
+	count            int32 // live occurrences
+	queuedAt         int32 // bucket the digram was last enqueued into (-1: none)
+	retired          bool
 }
 
-// appendDigram allocates a digram in the pool, reviving the occs
-// backing array of a previously truncated slot when one is available.
+// appendDigram allocates a digram in the pool, reusing a previously
+// truncated slot when one is available.
 func appendDigram(pool []digramInfo, key digramKey) []digramInfo {
 	if len(pool) < cap(pool) {
 		pool = pool[:len(pool)+1]
-		d := &pool[len(pool)-1]
-		d.key = key
-		d.occs = d.occs[:0]
-		d.count = 0
-		d.queuedAt = -1
-		d.retired = false
-		return pool
+	} else {
+		pool = append(pool, digramInfo{})
 	}
-	return append(pool, digramInfo{key: key, queuedAt: -1})
+	pool[len(pool)-1] = digramInfo{key: key, occHead: noEntry, occTail: noEntry, queuedAt: -1}
+	return pool
+}
+
+// qEntry is one bucket-list entry of the priority queue: a digram
+// index linked into its bucket's chain. Entries live in one shared
+// per-stage arena (bucketQueue.pool); a digram may have entries in
+// several buckets at once (updates enqueue lazily, stale entries are
+// discarded on pop), exactly like the per-bucket append slices this
+// layout replaces. Only the prev link is stored: every queue
+// operation works at a bucket's tail (push, stale drop, swap-remove),
+// and the overflow-bucket max scan walks tail→head with a pick rule
+// equivalent to the old head→tail scan, so no entry ever needs a
+// forward link — keeping the entry at 8 bytes halves the arena's
+// growth traffic.
+type qEntry struct {
+	di   int32
+	prev int32 // previous entry of the same bucket (nearer the head), noEntry = first
 }
 
 // bucketQueue is the √n-bucket priority queue of Larsson & Moffat
 // (Sec. III-C1 data structures): bucket i holds digrams with i live
 // occurrences; the last bucket holds every digram with ≥ B
-// occurrences. Entries are updated lazily: a digram may appear in
-// several buckets, and stale entries are discarded on pop. The queue
-// stores digramPool indices and is reset (not reallocated) per stage.
+// occurrences. Each bucket is a linked chain of qEntry links carved
+// from one shared arena: enqueueing appends a link at the bucket tail
+// without allocating (the arena keeps its high-water capacity across
+// stages), and discarding a stale tail entry is an O(1) splice. Entries are updated lazily — a digram may appear in
+// several buckets, and stale entries are discarded (and re-enqueued
+// into their correct bucket) on pop, a recency rule the replacement
+// loop's byte-identical output depends on: a single-entry queue that
+// moves digrams eagerly on every count change reorders equal-count
+// pops and drifts the goldens (DESIGN.md §10). The queue stores
+// digramPool indices and is reset (not reallocated) per stage.
 type bucketQueue struct {
-	buckets [][]int32
-	b       int // max bucket index (≈ √|E|)
-	hi      int // highest bucket that may be non-empty
+	pool []qEntry // shared entry arena, truncated per stage
+	tail []int32  // per bucket: last entry (pool index), noEntry = empty
+	b    int      // max bucket index (≈ √|E|)
+	hi   int      // highest bucket that may be non-empty
 }
 
-// reset sizes the queue for a stage over numEdges edges. Each bucket
-// is truncated in place, never reallocated smaller: a bucket's
-// backing array persists per index across stages, so its capacity is
-// exactly the high-water entry count any earlier stage reached — the
-// pre-sizing falls out structurally, and within-stage appends never
-// regrow a bucket a previous stage already proved needs the room
-// (pinned by TestBucketQueueKeepsCapacity).
+// reset sizes the queue for a stage over numEdges edges, truncating
+// the entry arena and clearing the per-bucket chains in place; the
+// tail array is O(√|E|) and grows to the high-water bucket count, so
+// a warm reset allocates nothing.
 func (q *bucketQueue) reset(numEdges int) {
 	b := 2
 	for b*b < numEdges {
 		b++
 	}
-	if cap(q.buckets) >= b+1 {
-		q.buckets = q.buckets[:b+1]
+	if cap(q.tail) >= b+1 {
+		q.tail = q.tail[:b+1]
 	} else {
-		q.buckets = append(q.buckets[:cap(q.buckets)], make([][]int32, b+1-cap(q.buckets))...)
+		q.tail = append(q.tail[:cap(q.tail)], make([]int32, b+1-cap(q.tail))...)
 	}
-	for i := range q.buckets {
-		q.buckets[i] = q.buckets[i][:0]
+	for i := range q.tail {
+		q.tail[i] = noEntry
 	}
+	q.pool = q.pool[:0]
 	q.b = b
 	q.hi = 0
 }
@@ -85,6 +104,19 @@ func (q *bucketQueue) bucketFor(count int32) int {
 		return q.b
 	}
 	return int(count)
+}
+
+// pushTail appends a new entry for digram di at the tail of bucket bk.
+func (q *bucketQueue) pushTail(bk int, di int32) {
+	i := int32(len(q.pool))
+	q.pool = append(q.pool, qEntry{di: di, prev: q.tail[bk]})
+	q.tail[bk] = i
+}
+
+// dropTail splices the tail entry off bucket bk (the entry stays in
+// the arena until the next stage reset).
+func (q *bucketQueue) dropTail(bk int) {
+	q.tail[bk] = q.pool[q.tail[bk]].prev
 }
 
 // update (re-)enqueues digram di according to its current count.
@@ -100,7 +132,7 @@ func (q *bucketQueue) update(pool []digramInfo, di int32) {
 		return
 	}
 	d.queuedAt = int32(bk)
-	q.buckets[bk] = append(q.buckets[bk], di)
+	q.pushTail(bk, di)
 	if bk > q.hi {
 		q.hi = bk
 	}
@@ -108,18 +140,19 @@ func (q *bucketQueue) update(pool []digramInfo, di int32) {
 
 // popMax removes and returns an active digram of maximal frequency,
 // or noDigram when no digram has at least two live occurrences.
-// Within the overflow bucket (counts ≥ B) the true maximum is selected
-// by scan.
+// Buckets pop from the tail (most recently enqueued first); within the
+// overflow bucket (counts ≥ B) the true maximum is selected by a scan
+// in enqueue order, and the removal swaps the tail entry into the
+// picked position — both exactly as the slice-backed queue behaved,
+// so the pop sequence (and thus the grammar) is unchanged.
 func (q *bucketQueue) popMax(pool []digramInfo) int32 {
 	for q.hi >= 2 {
-		bucket := q.buckets[q.hi]
 		// Drop stale entries from the tail.
-		for len(bucket) > 0 {
-			di := bucket[len(bucket)-1]
+		for t := q.tail[q.hi]; t != noEntry; t = q.tail[q.hi] {
+			di := q.pool[t].di
 			d := &pool[di]
 			if d.retired || d.count < 2 || q.bucketFor(d.count) != q.hi || int(d.queuedAt) != q.hi {
-				bucket = bucket[:len(bucket)-1]
-				q.buckets[q.hi] = bucket
+				q.dropTail(q.hi)
 				if !d.retired && d.count >= 2 {
 					// Re-enqueue into its correct bucket.
 					d.queuedAt = -1
@@ -129,27 +162,35 @@ func (q *bucketQueue) popMax(pool []digramInfo) int32 {
 			}
 			break
 		}
-		if len(bucket) == 0 {
+		if q.tail[q.hi] == noEntry {
 			q.hi--
 			continue
 		}
-		// In the overflow bucket counts differ; pick the true max.
-		pick := len(bucket) - 1
+		// In the overflow bucket counts differ; pick the true max. The
+		// slice queue scanned head→tail with pick starting at the tail,
+		// replacing on strictly greater counts — which selects the tail
+		// if it holds the maximum, else the earliest entry holding it.
+		// The backward walk reproduces exactly that: replace on greater,
+		// or on equal once the pick has moved off the tail (each
+		// equal-count entry seen later in the walk is earlier in append
+		// order).
+		tail := q.tail[q.hi]
+		pick := tail
 		if q.hi == q.b {
-			for i := range bucket {
-				d := &pool[bucket[i]]
+			for i := q.pool[tail].prev; i != noEntry; i = q.pool[i].prev {
+				d := &pool[q.pool[i].di]
 				if d.retired || d.count < 2 || int(d.queuedAt) != q.hi {
 					continue
 				}
-				p := &pool[bucket[pick]]
-				if p.retired || d.count > p.count {
+				p := &pool[q.pool[pick].di]
+				if d.count > p.count || (d.count == p.count && pick != tail) {
 					pick = i
 				}
 			}
 		}
-		di := bucket[pick]
-		bucket[pick] = bucket[len(bucket)-1]
-		q.buckets[q.hi] = bucket[:len(bucket)-1]
+		di := q.pool[pick].di
+		q.pool[pick].di = q.pool[q.tail[q.hi]].di
+		q.dropTail(q.hi)
 		d := &pool[di]
 		if d.retired || d.count < 2 || int(d.queuedAt) != q.hi {
 			continue // stale after all; loop again

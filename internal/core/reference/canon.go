@@ -1,0 +1,138 @@
+package reference
+
+import (
+	"graphrepair/internal/hypergraph"
+)
+
+// occForm is the canonical form of one occurrence {e1, e2}: the
+// oriented edge pair, the local node table, the external and shared
+// node bookkeeping, and the digram key as a plain byte string — the
+// exact byte sequence core's packed digramKey reproduces (labels
+// little-endian, ranks, overlap pattern, 0xFF separator, external
+// flags), so byte-lexicographic string comparison coincides with
+// core's keyLess and string equality with digramKey equality.
+type occForm struct {
+	a, b   hypergraph.EdgeID
+	locals []hypergraph.NodeID // local index → graph node
+	extLoc []int               // ascending local indices of external nodes
+	shared []hypergraph.NodeID // nodes attached to both edges
+	key    string
+}
+
+// attachment returns the graph nodes a replacing nonterminal edge
+// attaches to, in external order.
+func (f *occForm) attachment() []hypergraph.NodeID {
+	out := make([]hypergraph.NodeID, len(f.extLoc))
+	for i, l := range f.extLoc {
+		out[i] = f.locals[l]
+	}
+	return out
+}
+
+// removal returns the graph nodes internal to the occurrence.
+func (f *occForm) removal() []hypergraph.NodeID {
+	ext := make(map[int]bool, len(f.extLoc))
+	for _, l := range f.extLoc {
+		ext[l] = true
+	}
+	var out []hypergraph.NodeID
+	for i, v := range f.locals {
+		if !ext[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func indexOf(locals []hypergraph.NodeID, v hypergraph.NodeID) int {
+	for i, u := range locals {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildOriented computes the canonical form for the ordered pair
+// (a, b). Externality follows Def. 3(3): a node of the occurrence is
+// external iff it is incident with an edge other than a and b.
+func buildOriented(g *hypergraph.Graph, a, b hypergraph.EdgeID) *occForm {
+	attA, attB := g.Att(a), g.Att(b)
+	f := &occForm{a: a, b: b}
+	f.locals = append([]hypergraph.NodeID(nil), attA...)
+	pat := make([]byte, 0, len(attB))
+	for _, v := range attB {
+		j := indexOf(f.locals, v)
+		if j >= 0 && j < len(attA) {
+			f.shared = append(f.shared, v)
+		}
+		if j < 0 {
+			j = len(f.locals)
+			f.locals = append(f.locals, v)
+		}
+		pat = append(pat, byte(j))
+	}
+	ext := make([]byte, 0, len(f.locals))
+	for i, v := range f.locals {
+		// v is attached to a, to b, or to both; it is external iff it
+		// has more alive incident edges than that.
+		inPair := 0
+		if g.AttPos(a, v) >= 0 {
+			inPair++
+		}
+		if g.AttPos(b, v) >= 0 {
+			inPair++
+		}
+		if g.Degree(v) > inPair {
+			ext = append(ext, 1)
+			f.extLoc = append(f.extLoc, i)
+		} else {
+			ext = append(ext, 0)
+		}
+	}
+	la, lb := uint32(g.Label(a)), uint32(g.Label(b))
+	kb := make([]byte, 0, 10+len(pat)+1+len(ext))
+	kb = append(kb, byte(la), byte(la>>8), byte(la>>16), byte(la>>24))
+	kb = append(kb, byte(lb), byte(lb>>8), byte(lb>>16), byte(lb>>24))
+	kb = append(kb, byte(len(attA)), byte(len(attB)))
+	kb = append(kb, pat...)
+	kb = append(kb, 0xFF)
+	kb = append(kb, ext...)
+	f.key = string(kb)
+	return f
+}
+
+// canonicalize computes the canonical occurrence for an unordered edge
+// pair: the edge with the smaller label goes first; on equal labels
+// both orientations are built and the one with the byte-smaller key
+// wins; on equal keys the lexicographically smaller local node
+// sequence breaks the tie. Labels are compared numerically (their
+// little-endian key bytes are not ordered lexicographically); all
+// later key fields are single bytes, for which string order is
+// numeric order, so this reproduces core's canonicalizeInto exactly.
+func canonicalize(g *hypergraph.Graph, e1, e2 hypergraph.EdgeID) *occForm {
+	l1, l2 := g.Label(e1), g.Label(e2)
+	if l1 < l2 {
+		return buildOriented(g, e1, e2)
+	}
+	if l2 < l1 {
+		return buildOriented(g, e2, e1)
+	}
+	f1 := buildOriented(g, e1, e2)
+	f2 := buildOriented(g, e2, e1)
+	if f1.key != f2.key {
+		if f1.key < f2.key {
+			return f1
+		}
+		return f2
+	}
+	for i := range f1.locals {
+		if f1.locals[i] != f2.locals[i] {
+			if f1.locals[i] < f2.locals[i] {
+				return f1
+			}
+			return f2
+		}
+	}
+	return f1
+}

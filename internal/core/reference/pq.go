@@ -1,0 +1,101 @@
+package reference
+
+// bucketQueue is the naive slice form of the Larsson & Moffat √n
+// priority queue, with the exact lazy semantics the optimized
+// compressor's pop order depends on: updates append to the new
+// bucket's slice and leave the old entry in place; pops discard stale
+// entries from the tail, re-enqueueing any that are still active into
+// their correct bucket (which bumps their recency — an observable
+// tie-breaking rule); the overflow bucket is scanned in append order
+// for the true maximum, and removal swaps the tail entry into the
+// picked slot.
+type bucketQueue struct {
+	buckets [][]int
+	b       int
+	hi      int
+}
+
+func (q *bucketQueue) reset(numEdges int) {
+	b := 2
+	for b*b < numEdges {
+		b++
+	}
+	q.buckets = make([][]int, b+1)
+	q.b = b
+	q.hi = 0
+}
+
+func (q *bucketQueue) bucketFor(count int) int {
+	if count > q.b {
+		return q.b
+	}
+	return count
+}
+
+// update (re-)enqueues digram di according to its current count.
+func (q *bucketQueue) update(pool []*digram, di int) {
+	d := pool[di]
+	if d.retired || d.count < 2 {
+		return
+	}
+	bk := q.bucketFor(d.count)
+	if d.queuedAt == bk {
+		return
+	}
+	d.queuedAt = bk
+	q.buckets[bk] = append(q.buckets[bk], di)
+	if bk > q.hi {
+		q.hi = bk
+	}
+}
+
+// popMax removes and returns an active digram of maximal frequency, or
+// -1 when no digram has at least two live occurrences.
+func (q *bucketQueue) popMax(pool []*digram) int {
+	for q.hi >= 2 {
+		bucket := q.buckets[q.hi]
+		// Drop stale entries from the tail.
+		for len(bucket) > 0 {
+			di := bucket[len(bucket)-1]
+			d := pool[di]
+			if d.retired || d.count < 2 || q.bucketFor(d.count) != q.hi || d.queuedAt != q.hi {
+				bucket = bucket[:len(bucket)-1]
+				q.buckets[q.hi] = bucket
+				if !d.retired && d.count >= 2 {
+					// Re-enqueue into its correct bucket.
+					d.queuedAt = -1
+					q.update(pool, di)
+				}
+				continue
+			}
+			break
+		}
+		if len(bucket) == 0 {
+			q.hi--
+			continue
+		}
+		// In the overflow bucket counts differ; pick the true max.
+		pick := len(bucket) - 1
+		if q.hi == q.b {
+			for i := range bucket {
+				d := pool[bucket[i]]
+				if d.retired || d.count < 2 || d.queuedAt != q.hi {
+					continue
+				}
+				p := pool[bucket[pick]]
+				if p.retired || d.count > p.count {
+					pick = i
+				}
+			}
+		}
+		di := bucket[pick]
+		bucket[pick] = bucket[len(bucket)-1]
+		q.buckets[q.hi] = bucket[:len(bucket)-1]
+		d := pool[di]
+		if d.retired || d.count < 2 || d.queuedAt != q.hi {
+			continue // stale after all; loop again
+		}
+		return di
+	}
+	return -1
+}

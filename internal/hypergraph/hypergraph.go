@@ -100,6 +100,38 @@ func New(n int) *Graph {
 	return g
 }
 
+// NewReserved returns a graph with nodes 1..n whose backing storage is
+// pre-sized for exactly `edges` AddEdge calls carrying attLen
+// attachment nodes in total, plus one SetExt call with ext external
+// nodes, using a minimal number of allocations: the node and edge
+// liveness tables share one bool block and the attachment arena shares
+// one NodeID block with the external sequence. This is the rule-graph
+// materialization path of the compressor — every created rule builds
+// one small graph whose exact sizes are known up front, so the
+// constructor's fixed allocation count (rather than AddEdge growth
+// churn) is the entire per-rule cost (DESIGN.md §10).
+func NewReserved(n, edges, attLen, ext int) *Graph {
+	bools := make([]bool, n+1+edges)
+	nodeIDs := make([]NodeID, attLen+ext)
+	g := &Graph{
+		nodeAlive: bools[: n+1 : n+1],
+		edgeAlive: bools[n+1 : n+1 : n+1+edges],
+		numNodes:  n,
+		inc:       make([]incList, n+1),
+		extIndex:  make([]int32, n+1),
+		edges:     make([]Edge, 0, edges),
+		att:       nodeIDs[:0:attLen],
+		ext:       nodeIDs[attLen : attLen : attLen+ext],
+		incPool:   make([]incSlot, 0, attLen),
+	}
+	for i := 1; i <= n; i++ {
+		g.nodeAlive[i] = true
+		g.extIndex[i] = -1
+	}
+	g.extIndex[0] = -1
+	return g
+}
+
 // NumNodes returns the number of alive nodes (|g|V).
 func (g *Graph) NumNodes() int { return g.numNodes }
 
@@ -371,7 +403,15 @@ func (g *Graph) SetExt(ext ...NodeID) {
 			}
 		}
 	}
-	g.ext = append([]NodeID(nil), ext...)
+	if len(g.ext) == 0 && cap(g.ext) >= len(ext) {
+		// First SetExt on a graph with carved external capacity (see
+		// NewReserved): fill it in place. Replacing a non-empty ext
+		// still copies fresh, so slices returned by Ext earlier stay
+		// stable.
+		g.ext = append(g.ext[:0], ext...)
+	} else {
+		g.ext = append([]NodeID(nil), ext...)
+	}
 	for i, v := range g.ext {
 		g.extIndex[v] = int32(i)
 	}
@@ -530,43 +570,100 @@ func (g *Graph) Clone() *Graph {
 
 // Compact renumbers alive nodes to 1..NumNodes (in ascending old-ID
 // order) and alive edges to 0..NumEdges-1, returning the node mapping
-// old → new. The graph is modified in place.
+// old → new. The graph is rebuilt in place, reusing every existing
+// pool: dense new IDs never exceed old IDs, so the edge table and the
+// attachment arena are compacted forward in one pass each, and the
+// incidence chains are re-carved into the truncated incidence arena as
+// per-node contiguous segments (the Clone layout). Beyond the returned
+// map, the rebuild allocates nothing (DESIGN.md §10).
 func (g *Graph) Compact() map[NodeID]NodeID {
 	remap := make(map[NodeID]NodeID, g.numNodes)
+	// extIndex doubles as the flat old→new node table during the
+	// rewrite; it is rebuilt from the remapped ext sequence at the end.
 	next := NodeID(1)
 	for v := NodeID(1); int(v) < len(g.nodeAlive); v++ {
 		if g.nodeAlive[v] {
 			remap[v] = next
+			g.extIndex[v] = int32(next)
 			next++
 		}
 	}
-	labels := make([]Label, 0, g.numEdges)
-	ranks := make([]int32, 0, g.numEdges)
-	flat := make([]NodeID, 0, len(g.att))
+	for i, v := range g.ext {
+		g.ext[i] = NodeID(g.extIndex[v])
+	}
+	// Forward compaction of edges and attachments: the write offsets
+	// trail the read offsets, so in-place copy-and-remap is safe.
+	wo, ao := 0, int32(0)
 	for id := range g.edges {
 		e := &g.edges[id]
 		if !g.edgeAlive[id] {
 			continue
 		}
-		for _, v := range g.attOf(e) {
-			flat = append(flat, remap[v])
+		off, rank := e.off, e.rank
+		for k := int32(0); k < rank; k++ {
+			g.att[ao+k] = NodeID(g.extIndex[g.att[off+k]])
 		}
-		labels = append(labels, e.Label)
-		ranks = append(ranks, e.rank)
+		g.edges[wo] = Edge{Label: e.Label, off: ao, rank: rank}
+		wo++
+		ao += rank
 	}
-	ext := make([]NodeID, len(g.ext))
-	for i, v := range g.ext {
-		ext[i] = remap[v]
+	g.edges = g.edges[:wo]
+	g.att = g.att[:ao]
+	g.edgeAlive = g.edgeAlive[:wo]
+	for i := range g.edgeAlive {
+		g.edgeAlive[i] = true
 	}
+	g.numEdges = wo
+
 	n := g.numNodes
-	*g = *New(n)
-	g.Reserve(len(labels), len(flat))
-	off := int32(0)
-	for i, l := range labels {
-		g.AddEdge(l, flat[off:off+ranks[i]]...)
-		off += ranks[i]
+	g.nodeAlive = g.nodeAlive[:n+1]
+	for v := 1; v <= n; v++ {
+		g.nodeAlive[v] = true
 	}
-	g.SetExt(ext...)
+	g.extIndex = g.extIndex[:n+1]
+	for v := range g.extIndex {
+		g.extIndex[v] = -1
+	}
+	for i, v := range g.ext {
+		g.extIndex[v] = int32(i)
+	}
+
+	// Re-carve the incidence chains: like Clone, each node's chain
+	// occupies one contiguous 1-based segment of the truncated arena,
+	// filled in ascending new-edge order (= insertion order).
+	g.inc = g.inc[:n+1]
+	for v := range g.inc {
+		g.inc[v] = incList{}
+	}
+	g.incPool = g.incPool[:ao]
+	for id := range g.edges {
+		for _, v := range g.attOf(&g.edges[id]) {
+			g.inc[v].deg++
+		}
+	}
+	pos := int32(1)
+	for v := range g.inc {
+		if d := g.inc[v].deg; d > 0 {
+			g.inc[v].head = pos
+			g.inc[v].tail = pos // fill cursor; final tail = pos+d-1
+			for s := pos; s < pos+d-1; s++ {
+				g.incPool[s-1].next = s + 1
+			}
+			g.incPool[pos+d-2].next = 0
+			pos += d
+		}
+	}
+	for id := range g.edges {
+		for _, v := range g.attOf(&g.edges[id]) {
+			g.incPool[g.inc[v].tail-1].edge = EdgeID(id)
+			g.inc[v].tail++
+		}
+	}
+	for v := range g.inc {
+		if g.inc[v].deg > 0 {
+			g.inc[v].tail--
+		}
+	}
 	return remap
 }
 

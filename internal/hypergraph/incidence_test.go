@@ -109,6 +109,126 @@ func TestReservedAddEdgeArenaAllocs(t *testing.T) {
 	}
 }
 
+// TestNewReservedAllocs pins the rule-builder constructor contract:
+// NewReserved makes a fixed handful of allocations regardless of
+// content, and filling the graph to its reserved capacity (AddEdge up
+// to the edge/attachment budget, one SetExt up to the ext budget)
+// allocates nothing more.
+func TestNewReservedAllocs(t *testing.T) {
+	if n := testing.AllocsPerRun(500, func() {
+		NewReserved(6, 2, 5, 3)
+	}); n > 7 {
+		t.Errorf("NewReserved allocates %v/op, want <= 7 (struct, bool block, inc, extIndex, edges, NodeID block, incPool)", n)
+	}
+	g := NewReserved(6, 2, 5, 3)
+	if n := testing.AllocsPerRun(200, func() {
+		g2 := NewReserved(6, 2, 5, 3)
+		g2.AddEdge(1, 1, 2)
+		g2.AddEdge(2, 3, 4, 5)
+		g2.SetExt(1, 4, 5)
+	}); n > 7 {
+		t.Errorf("NewReserved + fill to capacity allocates %v/op, want <= 7", n)
+	}
+	g.AddEdge(1, 1, 2)
+	g.AddEdge(2, 3, 4, 5)
+	g.SetExt(1, 4, 5)
+	if got := g.Ext(); len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("Ext = %v", got)
+	}
+	if g.ExtIndex(4) != 1 || g.ExtIndex(2) != -1 {
+		t.Fatal("extIndex not rebuilt")
+	}
+	if got := g.AppendIncident(nil, 4); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Incident(4) = %v", got)
+	}
+	// Replacing a non-empty ext must copy fresh so earlier Ext slices
+	// stay stable.
+	old := g.Ext()
+	g.SetExt(2, 3)
+	if old[0] != 1 || old[1] != 4 || old[2] != 5 {
+		t.Fatalf("previous Ext slice mutated by SetExt: %v", old)
+	}
+}
+
+// TestCompactArenaReuseAllocs pins the in-place Compact: the edge
+// table, attachment arena and incidence arena keep their backing
+// arrays (forward compaction, no New/AddEdge rebuild), incidence
+// chains come out in insertion order, and the only allocations are
+// the returned remap map.
+func TestCompactArenaReuseAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(40)
+	for i := 0; i < 120; i++ {
+		u := NodeID(1 + rng.Intn(40))
+		v := NodeID(1 + rng.Intn(40))
+		if u != v {
+			g.AddEdge(Label(1+rng.Intn(3)), u, v)
+		}
+	}
+	for _, id := range g.Edges() {
+		if rng.Intn(3) == 0 {
+			g.RemoveEdge(id)
+		}
+	}
+	for _, v := range g.Nodes() {
+		if g.Degree(v) == 0 {
+			g.RemoveNode(v)
+		}
+	}
+	attPtr, edgePtr, incPtr := &g.att[0], &g.edges[0], &g.incPool[0]
+	before := g.Clone()
+	remap := g.Compact()
+	if &g.att[0] != attPtr {
+		t.Error("Compact reallocated the attachment arena")
+	}
+	if &g.edges[0] != edgePtr {
+		t.Error("Compact reallocated the edge table")
+	}
+	if &g.incPool[0] != incPtr {
+		t.Error("Compact reallocated the incidence arena")
+	}
+	if g.NumEdges() != before.NumEdges() || g.NumNodes() != before.NumNodes() {
+		t.Fatalf("sizes changed: %d/%d nodes, %d/%d edges",
+			g.NumNodes(), before.NumNodes(), g.NumEdges(), before.NumEdges())
+	}
+	// Edge IDs are dense ascending in old-ID order, so every chain must
+	// yield strictly ascending edge IDs (= insertion order).
+	for v := NodeID(1); v <= g.MaxNodeID(); v++ {
+		prev := EdgeID(-1)
+		cnt := 0
+		for id := range g.IncidentSeq(v) {
+			if id <= prev {
+				t.Fatalf("node %d: chain out of insertion order (%d after %d)", v, id, prev)
+			}
+			prev = id
+			cnt++
+		}
+		if cnt != g.Degree(v) {
+			t.Fatalf("node %d: chain yields %d edges, Degree says %d", v, cnt, g.Degree(v))
+		}
+	}
+	// Triples must map exactly through the remap.
+	want := map[Triple]int{}
+	for _, tr := range before.Triples() {
+		want[Triple{Src: remap[tr.Src], Dst: remap[tr.Dst], Label: tr.Label}]++
+	}
+	for _, tr := range g.Triples() {
+		want[tr]--
+	}
+	for tr, c := range want {
+		if c != 0 {
+			t.Fatalf("triple mismatch after Compact: %v count %d", tr, c)
+		}
+	}
+	// Steady state: compacting the already-compact graph allocates only
+	// the remap map.
+	if n := testing.AllocsPerRun(50, func() {
+		g.Compact()
+	}); n > 6 {
+		t.Errorf("in-place Compact allocates %v/op, want <= 6 (the remap map)", n)
+	}
+}
+
 // TestWeakComponentsIntoMatchesWeakComponents cross-checks the flat
 // component computation against the slice-shaped public API.
 func TestWeakComponentsIntoMatchesWeakComponents(t *testing.T) {
