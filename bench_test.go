@@ -320,7 +320,7 @@ func BenchmarkReachability(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(b, res.Grammar)
 	n := eng.NumNodes()
 	b.Run("grammar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -352,7 +352,7 @@ func BenchmarkNeighbors(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(b, res.Grammar)
 	n := eng.NumNodes()
 	b.Run("grammar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -380,7 +380,7 @@ func BenchmarkComponentCount(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(b, res.Grammar)
 	b.Run("grammar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = eng.ComponentCount()

@@ -8,22 +8,29 @@
 //	gquery -q in -from 3 file.grpr
 //	gquery -q components file.grpr
 //	gquery -q degrees file.grpr
+//
+// -timeout bounds the whole run (decode, engine construction, and the
+// query itself); an expired deadline surfaces as a canceled error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"graphrepair/internal/encoding"
+	"graphrepair/internal/govern"
 	"graphrepair/internal/query"
 )
 
 func main() {
 	var (
-		q    = flag.String("q", "", "query: reach|out|in|components|degrees")
-		from = flag.Int64("from", 0, "source node ID")
-		to   = flag.Int64("to", 0, "target node ID (reach)")
+		q       = flag.String("q", "", "query: reach|out|in|components|degrees")
+		from    = flag.Int64("from", 0, "source node ID")
+		to      = flag.Int64("to", 0, "target node ID (reach)")
+		timeout = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || *q == "" {
@@ -31,28 +38,34 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *q, *from, *to); err != nil {
+	if err := run(flag.Arg(0), *q, *from, *to, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "gquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, q string, from, to int64) error {
+func run(path, q string, from, to int64, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	g, err := encoding.Decode(buf)
+	g, err := encoding.DecodeContext(ctx, buf, govern.Limits{})
 	if err != nil {
 		return err
 	}
-	eng, err := query.New(g)
+	eng, err := query.NewContext(ctx, g)
 	if err != nil {
 		return err
 	}
 	switch q {
 	case "reach":
-		ok, err := eng.Reachable(from, to)
+		ok, err := eng.ReachableContext(ctx, from, to)
 		if err != nil {
 			return err
 		}
@@ -62,7 +75,7 @@ func run(path, q string, from, to int64) error {
 		if q == "in" {
 			dir = query.In
 		}
-		nb, err := eng.Neighbors(from, dir)
+		nb, err := eng.NeighborsContext(ctx, from, dir)
 		if err != nil {
 			return err
 		}

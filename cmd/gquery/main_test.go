@@ -1,9 +1,13 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"graphrepair/internal/govern"
 
 	"graphrepair/internal/core"
 	"graphrepair/internal/encoding"
@@ -43,14 +47,14 @@ func TestQueriesCLI(t *testing.T) {
 		{"components", 0, 0},
 		{"degrees", 0, 0},
 	} {
-		if err := run(path, tc.q, tc.from, tc.to); err != nil {
+		if err := run(path, tc.q, tc.from, tc.to, 0); err != nil {
 			t.Fatalf("query %s: %v", tc.q, err)
 		}
 	}
-	if err := run(path, "bogus", 0, 0); err == nil {
+	if err := run(path, "bogus", 0, 0, 0); err == nil {
 		t.Fatal("bogus query accepted")
 	}
-	if err := run(path, "reach", 0, 99); err == nil {
+	if err := run(path, "reach", 0, 99, 0); err == nil {
 		t.Fatal("out-of-range node accepted")
 	}
 }
@@ -60,7 +64,19 @@ func TestCorruptFileCLI(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a grammar"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "components", 0, 0); err == nil {
+	if err := run(path, "components", 0, 0, 0); err == nil {
 		t.Fatal("corrupt file accepted")
+	}
+}
+
+// TestTimeoutCLI pins that -timeout reaches the decode/engine/query
+// path and surfaces as a canceled error.
+func TestTimeoutCLI(t *testing.T) {
+	path := compressedFile(t)
+	if err := run(path, "reach", 1, 9, time.Nanosecond); !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("run with 1ns -timeout = %v, want ErrCanceled", err)
+	}
+	if err := run(path, "reach", 1, 9, time.Minute); err != nil {
+		t.Fatalf("run with ample -timeout: %v", err)
 	}
 }

@@ -3,20 +3,26 @@
 // Usage:
 //
 //	grepair -c [-maxrank 4] [-order fp] [-o out.grpr] in.graph
-//	grepair -d [-o out.graph] in.grpr
+//	grepair -d [-max-nodes N] [-max-edges N] [-o out.graph] in.grpr
 //	grepair -stats in.grpr
 //
 // Graphs use the text format of internal/graphio; compressed files use
-// the paper's binary grammar format.
+// the paper's binary grammar format. Because SL-HR grammars are
+// exponentially succinct, decompressing an untrusted file should be
+// bounded with -max-nodes/-max-edges (bombs are rejected analytically,
+// before materialization) and -timeout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"graphrepair/internal/core"
 	"graphrepair/internal/encoding"
+	"graphrepair/internal/govern"
 	"graphrepair/internal/graphio"
 	"graphrepair/internal/order"
 )
@@ -26,36 +32,61 @@ var orderNames = map[string]order.Kind{
 	"random": order.Random, "fp0": order.FP0, "fp": order.FP,
 }
 
+// options collects everything main parses from the command line;
+// run takes it whole so tests can drive the tool in-process.
+type options struct {
+	compress   bool
+	decompress bool
+	stats      bool
+	out        string
+	maxRank    int
+	orderName  string
+	seed       int64
+	noVirtual  bool
+	noPrune    bool
+	timeout    time.Duration
+	maxNodes   int64
+	maxEdges   int64
+}
+
 func main() {
-	var (
-		compress   = flag.Bool("c", false, "compress a text graph into a grammar file")
-		decompress = flag.Bool("d", false, "decompress a grammar file into a text graph")
-		stats      = flag.Bool("stats", false, "print statistics of a grammar file")
-		out        = flag.String("o", "", "output file (default stdout)")
-		maxRank    = flag.Int("maxrank", 4, "maximal digram rank")
-		orderName  = flag.String("order", "fp", "node order: natural|bfs|dfs|random|fp0|fp")
-		seed       = flag.Int64("seed", 0, "seed for the random order")
-		noVirtual  = flag.Bool("novirtual", false, "disable the virtual-edge stage")
-		noPrune    = flag.Bool("noprune", false, "disable pruning")
-	)
+	var o options
+	flag.BoolVar(&o.compress, "c", false, "compress a text graph into a grammar file")
+	flag.BoolVar(&o.decompress, "d", false, "decompress a grammar file into a text graph")
+	flag.BoolVar(&o.stats, "stats", false, "print statistics of a grammar file")
+	flag.StringVar(&o.out, "o", "", "output file (default stdout)")
+	flag.IntVar(&o.maxRank, "maxrank", 4, "maximal digram rank")
+	flag.StringVar(&o.orderName, "order", "fp", "node order: natural|bfs|dfs|random|fp0|fp")
+	flag.Int64Var(&o.seed, "seed", 0, "seed for the random order")
+	flag.BoolVar(&o.noVirtual, "novirtual", false, "disable the virtual-edge stage")
+	flag.BoolVar(&o.noPrune, "noprune", false, "disable pruning")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort after this duration (0 = none)")
+	flag.Int64Var(&o.maxNodes, "max-nodes", 0, "reject decompression beyond this many derived nodes (0 = unlimited)")
+	flag.Int64Var(&o.maxEdges, "max-edges", 0, "reject decompression beyond this many derived edges (0 = unlimited)")
 	flag.Parse()
-	if flag.NArg() != 1 || (!*compress && !*decompress && !*stats) {
+	if flag.NArg() != 1 || (!o.compress && !o.decompress && !o.stats) {
 		fmt.Fprintln(os.Stderr, "usage: grepair -c|-d|-stats [flags] <file>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *compress, *decompress, *stats, *out,
-		*maxRank, *orderName, *seed, *noVirtual, *noPrune); err != nil {
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "grepair:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, compress, decompress, stats bool, out string,
-	maxRank int, orderName string, seed int64, noVirtual, noPrune bool) error {
+func run(in string, o options) error {
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	lim := govern.Limits{MaxNodes: o.maxNodes, MaxEdges: o.maxEdges}
+
 	output := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -64,7 +95,7 @@ func run(in string, compress, decompress, stats bool, out string,
 	}
 
 	switch {
-	case compress:
+	case o.compress:
 		f, err := os.Open(in)
 		if err != nil {
 			return err
@@ -77,18 +108,18 @@ func run(in string, compress, decompress, stats bool, out string,
 		if skipped > 0 {
 			fmt.Fprintf(os.Stderr, "grepair: dropped %d self-loop/duplicate edges\n", skipped)
 		}
-		kind, ok := orderNames[orderName]
+		kind, ok := orderNames[o.orderName]
 		if !ok {
-			return fmt.Errorf("unknown order %q", orderName)
+			return fmt.Errorf("unknown order %q", o.orderName)
 		}
 		opts := core.Options{
-			MaxRank:           maxRank,
+			MaxRank:           o.maxRank,
 			Order:             kind,
-			Seed:              seed,
-			ConnectComponents: !noVirtual,
-			SkipPrune:         noPrune,
+			Seed:              o.seed,
+			ConnectComponents: !o.noVirtual,
+			SkipPrune:         o.noPrune,
 		}
-		res, err := core.Compress(g, labels, opts)
+		res, err := core.CompressContext(ctx, g, labels, opts)
 		if err != nil {
 			return err
 		}
@@ -105,16 +136,16 @@ func run(in string, compress, decompress, stats bool, out string,
 			res.Grammar.NumRules(), res.Stats.RulesPruned)
 		return nil
 
-	case decompress:
+	case o.decompress:
 		buf, err := os.ReadFile(in)
 		if err != nil {
 			return err
 		}
-		g, err := encoding.Decode(buf)
+		g, err := encoding.DecodeContext(ctx, buf, lim)
 		if err != nil {
 			return err
 		}
-		derived, err := g.Derive(0)
+		derived, err := g.DeriveContext(ctx, lim)
 		if err != nil {
 			return err
 		}
@@ -126,7 +157,7 @@ func run(in string, compress, decompress, stats bool, out string,
 		if err != nil {
 			return err
 		}
-		g, err := encoding.Decode(buf)
+		g, err := encoding.DecodeContext(ctx, buf, lim)
 		if err != nil {
 			return err
 		}

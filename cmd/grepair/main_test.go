@@ -1,11 +1,15 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"graphrepair"
+	"graphrepair/internal/govern"
 	"graphrepair/internal/graphio"
 	"graphrepair/internal/hypergraph"
 )
@@ -30,18 +34,48 @@ func writeTestGraph(t *testing.T, dir string) string {
 	return path
 }
 
+// writeBombFile writes a ≤1KB grammar file deriving 2^levels edges.
+func writeBombFile(t *testing.T, dir string, levels int) string {
+	t.Helper()
+	g := &graphrepair.Grammar{Terminals: 1}
+	prev := graphrepair.Label(1)
+	for i := 0; i < levels; i++ {
+		rhs := graphrepair.NewGraph(3)
+		rhs.AddEdge(prev, 1, 3)
+		rhs.AddEdge(prev, 3, 2)
+		rhs.SetExt(1, 2)
+		prev = g.AddRule(rhs)
+	}
+	start := graphrepair.NewGraph(2)
+	start.AddEdge(prev, 1, 2)
+	g.Start = start
+	buf, _, err := graphrepair.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bomb.grpr")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func compressOpts(out string) options {
+	return options{compress: true, out: out, maxRank: 4, orderName: "fp"}
+}
+
 func TestCompressDecompressRoundtripCLI(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTestGraph(t, dir)
 	grpr := filepath.Join(dir, "out.grpr")
-	if err := run(in, true, false, false, grpr, 4, "fp", 0, false, false); err != nil {
+	if err := run(in, compressOpts(grpr)); err != nil {
 		t.Fatalf("compress: %v", err)
 	}
 	if fi, err := os.Stat(grpr); err != nil || fi.Size() == 0 {
 		t.Fatalf("no output written: %v", err)
 	}
 	outGraph := filepath.Join(dir, "out.graph")
-	if err := run(grpr, false, true, false, outGraph, 4, "fp", 0, false, false); err != nil {
+	if err := run(grpr, options{decompress: true, out: outGraph}); err != nil {
 		t.Fatalf("decompress: %v", err)
 	}
 	f, err := os.Open(outGraph)
@@ -62,11 +96,11 @@ func TestStatsCLI(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTestGraph(t, dir)
 	grpr := filepath.Join(dir, "out.grpr")
-	if err := run(in, true, false, false, grpr, 4, "fp", 0, false, false); err != nil {
+	if err := run(in, compressOpts(grpr)); err != nil {
 		t.Fatal(err)
 	}
 	statsOut := filepath.Join(dir, "stats.txt")
-	if err := run(grpr, false, false, true, statsOut, 4, "fp", 0, false, false); err != nil {
+	if err := run(grpr, options{stats: true, out: statsOut}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(statsOut)
@@ -83,7 +117,9 @@ func TestStatsCLI(t *testing.T) {
 func TestBadOrderNameCLI(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTestGraph(t, dir)
-	if err := run(in, true, false, false, filepath.Join(dir, "x"), 4, "bogus", 0, false, false); err == nil {
+	o := compressOpts(filepath.Join(dir, "x"))
+	o.orderName = "bogus"
+	if err := run(in, o); err == nil {
 		t.Fatal("bogus order accepted")
 	}
 }
@@ -92,8 +128,42 @@ func TestAllOrderNamesWork(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTestGraph(t, dir)
 	for name := range orderNames {
-		if err := run(in, true, false, false, filepath.Join(dir, name+".grpr"), 4, name, 1, false, false); err != nil {
+		o := compressOpts(filepath.Join(dir, name+".grpr"))
+		o.orderName = name
+		o.seed = 1
+		if err := run(in, o); err != nil {
 			t.Fatalf("order %s: %v", name, err)
 		}
+	}
+}
+
+// TestMaxEdgesRejectsBombCLI pins the operational story of the
+// governance layer: a 1KB bomb file deriving 2^31 edges dies at the
+// -max-edges gate, analytically, instead of exhausting memory.
+func TestMaxEdgesRejectsBombCLI(t *testing.T) {
+	dir := t.TempDir()
+	bomb := writeBombFile(t, dir, 31)
+	o := options{decompress: true, out: filepath.Join(dir, "out.graph"), maxEdges: 1_000_000}
+	err := run(bomb, o)
+	if !errors.Is(err, govern.ErrLimit) {
+		t.Fatalf("decompressing bomb with -max-edges = %v, want ErrLimit", err)
+	}
+	o = options{decompress: true, out: filepath.Join(dir, "out2.graph"), maxNodes: 1_000}
+	if err := run(bomb, o); !errors.Is(err, govern.ErrLimit) {
+		t.Fatalf("decompressing bomb with -max-nodes = %v, want ErrLimit", err)
+	}
+	// -stats never materializes, so it works on the bomb regardless.
+	if err := run(bomb, options{stats: true, out: filepath.Join(dir, "stats.txt")}); err != nil {
+		t.Fatalf("stats on bomb: %v", err)
+	}
+}
+
+// TestTimeoutCLI pins that -timeout surfaces as a canceled error.
+func TestTimeoutCLI(t *testing.T) {
+	dir := t.TempDir()
+	bomb := writeBombFile(t, dir, 31)
+	o := options{decompress: true, out: filepath.Join(dir, "out.graph"), timeout: time.Nanosecond}
+	if err := run(bomb, o); !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("run with 1ns -timeout = %v, want ErrCanceled", err)
 	}
 }

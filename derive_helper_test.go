@@ -1,0 +1,17 @@
+package graphrepair_test
+
+import (
+	"testing"
+
+	"graphrepair"
+)
+
+// mustDerive materializes val(g), failing the test on error.
+func mustDerive(tb testing.TB, g *graphrepair.Grammar) *graphrepair.Graph {
+	tb.Helper()
+	h, err := g.Derive(0)
+	if err != nil {
+		tb.Fatalf("Derive: %v", err)
+	}
+	return h
+}

@@ -1,6 +1,8 @@
 package graphrepair_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"graphrepair"
@@ -81,4 +83,29 @@ func ExampleFPClasses() {
 	}
 	fmt.Println(graphrepair.FPClasses(g))
 	// Output: 1
+}
+
+// ExampleDecompressContext rejects a decompression bomb: a grammar of
+// 40 tiny rules whose derived graph would have 2^40 edges. The
+// rejection is analytic — computed from rule sizes in O(|rules|),
+// microseconds before a single node is materialized.
+func ExampleDecompressContext() {
+	// Each rule derives two copies of the previous one in series.
+	bomb := &graphrepair.Grammar{Terminals: 1}
+	prev := graphrepair.Label(1)
+	for i := 0; i < 40; i++ {
+		rhs := graphrepair.NewGraph(3)
+		rhs.AddEdge(prev, 1, 3)
+		rhs.AddEdge(prev, 3, 2)
+		rhs.SetExt(1, 2)
+		prev = bomb.AddRule(rhs)
+	}
+	bomb.Start = graphrepair.NewGraph(2)
+	bomb.Start.AddEdge(prev, 1, 2)
+
+	buf, _, _ := graphrepair.Encode(bomb) // well under 1KB
+	_, err := graphrepair.DecompressContext(context.Background(), buf,
+		graphrepair.Limits{MaxEdges: 1_000_000, MaxAllocBytes: 64 << 20})
+	fmt.Println(errors.Is(err, graphrepair.ErrLimit))
+	// Output: true
 }

@@ -44,7 +44,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	derived := res.Grammar.MustDerive()
+	derived, err := res.Grammar.Derive(0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	n := eng.NumNodes()
 
 	// Deterministic query mix over the derived ID space.

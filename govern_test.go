@@ -1,0 +1,207 @@
+package graphrepair_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphrepair"
+)
+
+// bombGrammar builds a decompression bomb through the public API: a
+// chain of `levels` doubling rules (rule i derives two copies of rule
+// i-1 in series), so val(G) has 2^levels terminal edges while the
+// grammar itself has 3 nodes and 2 edges per rule.
+func bombGrammar(levels int) *graphrepair.Grammar {
+	g := &graphrepair.Grammar{Terminals: 1}
+	prev := graphrepair.Label(1) // the single terminal
+	for i := 0; i < levels; i++ {
+		rhs := graphrepair.NewGraph(3)
+		rhs.AddEdge(prev, 1, 3)
+		rhs.AddEdge(prev, 3, 2)
+		rhs.SetExt(1, 2)
+		prev = g.AddRule(rhs)
+	}
+	start := graphrepair.NewGraph(2)
+	start.AddEdge(prev, 1, 2)
+	g.Start = start
+	return g
+}
+
+// chainRuleGrammar builds a grammar whose derivation expands `levels`
+// nested rule instances (one per level), for exercising the
+// cancellation polls at rule-expansion boundaries.
+func chainRuleGrammar(levels int) *graphrepair.Grammar {
+	g := &graphrepair.Grammar{Terminals: 1}
+	prev := graphrepair.Label(0)
+	for i := 0; i < levels; i++ {
+		rhs := graphrepair.NewGraph(3)
+		rhs.AddEdge(1, 1, 3)
+		if prev == 0 {
+			rhs.AddEdge(1, 3, 2)
+		} else {
+			rhs.AddEdge(prev, 3, 2)
+		}
+		rhs.SetExt(1, 2)
+		prev = g.AddRule(rhs)
+	}
+	start := graphrepair.NewGraph(2)
+	start.AddEdge(prev, 1, 2)
+	g.Start = start
+	return g
+}
+
+// TestBombRejectedAnalytically is the acceptance test of the
+// resource-governance layer: a ≤1KB encoding whose val(G) has more
+// than 10⁹ edges must be rejected by DecompressContext with ErrLimit
+// before materializing anything — quickly and without allocating more
+// than a fraction of the budget it was given.
+func TestBombRejectedAnalytically(t *testing.T) {
+	bomb := bombGrammar(31) // 2^31 ≈ 2.1e9 derived edges
+	buf, _, err := graphrepair.Encode(bomb)
+	if err != nil {
+		t.Fatalf("Encode(bomb): %v", err)
+	}
+	if len(buf) > 1024 {
+		t.Fatalf("bomb encoding is %d bytes, want ≤1KB", len(buf))
+	}
+	lim := graphrepair.Limits{MaxNodes: 1 << 40, MaxEdges: 1e9, MaxAllocBytes: 1 << 20}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	_, err = graphrepair.DecompressContext(context.Background(), buf, lim)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	if !errors.Is(err, graphrepair.ErrLimit) {
+		t.Fatalf("DecompressContext(bomb) = %v, want ErrLimit", err)
+	}
+	var le *graphrepair.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is not a *LimitError: %v", err)
+	}
+	if le.Resource != "derived edges" || le.Demanded <= 1e9 {
+		t.Fatalf("LimitError{%s, %d, %d}, want derived edges > 1e9", le.Resource, le.Demanded, le.Allowed)
+	}
+	// The analytic check runs in O(|rules|) on 31 rules: the criterion
+	// is ~1µs of work; allow generous slack for CI scheduling noise.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("bomb rejection took %v, want well under 100ms", elapsed)
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 1<<20 {
+		t.Fatalf("bomb rejection allocated %d bytes, want <1MB", alloc)
+	}
+}
+
+// TestBombNodeLimit covers the node-count branch of the analytic
+// check (the bomb's internal nodes double per level too).
+func TestBombNodeLimit(t *testing.T) {
+	bomb := bombGrammar(40)
+	buf, _, err := graphrepair.Encode(bomb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = graphrepair.DecompressContext(context.Background(), buf,
+		graphrepair.Limits{MaxNodes: 1 << 20})
+	var le *graphrepair.LimitError
+	if !errors.As(err, &le) || le.Resource != "derived nodes" {
+		t.Fatalf("want derived-nodes LimitError, got %v", err)
+	}
+}
+
+// TestDecompressContextUnlimitedMatchesDecompress pins that the
+// governed path with zero limits is byte-identical to the legacy one.
+func TestDecompressContextUnlimitedMatchesDecompress(t *testing.T) {
+	g := graphrepair.NewGraph(64)
+	for i := 1; i < 64; i++ {
+		g.AddEdge(1, graphrepair.NodeID(i), graphrepair.NodeID(i+1))
+	}
+	res, err := graphrepair.Compress(g, 1, graphrepair.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := graphrepair.Encode(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := graphrepair.Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := graphrepair.DecompressContext(context.Background(), buf, graphrepair.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphrepair.Isomorphic(want, got) {
+		t.Fatal("governed and legacy decompression disagree")
+	}
+	// Within-limits decompression succeeds with limits set.
+	if _, err := graphrepair.DecompressContext(context.Background(), buf,
+		graphrepair.Limits{MaxNodes: 1000, MaxEdges: 1000, MaxAllocBytes: 1 << 20}); err != nil {
+		t.Fatalf("within-limits decompression failed: %v", err)
+	}
+}
+
+// TestDecodeAllocBudget pins that a tiny allocation budget rejects a
+// decode whose claimed counts exceed it, with ErrLimit.
+func TestDecodeAllocBudget(t *testing.T) {
+	g := graphrepair.NewGraph(256)
+	for i := 1; i < 256; i++ {
+		g.AddEdge(1, graphrepair.NodeID(i), graphrepair.NodeID(i+1))
+	}
+	res, err := graphrepair.Compress(g, 1, graphrepair.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := graphrepair.Encode(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = graphrepair.DecodeContext(context.Background(), buf,
+		graphrepair.Limits{MaxAllocBytes: 64})
+	if !errors.Is(err, graphrepair.ErrLimit) {
+		t.Fatalf("DecodeContext with 64-byte budget = %v, want ErrLimit", err)
+	}
+	if _, err := graphrepair.DecodeContext(context.Background(), buf,
+		graphrepair.Limits{MaxAllocBytes: 1 << 20}); err != nil {
+		t.Fatalf("DecodeContext with 1MB budget failed: %v", err)
+	}
+}
+
+// TestCancellationTaxonomy pins that cancellation surfaces as
+// ErrCanceled AND the original context error, at both the decode and
+// the derive polls.
+func TestCancellationTaxonomy(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	g := chainRuleGrammar(200) // >64 rule expansions → derive poll fires
+	buf, _, err := graphrepair.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = graphrepair.DecodeContext(ctx, buf, graphrepair.Limits{})
+	if !errors.Is(err, graphrepair.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled decode = %v, want ErrCanceled ∧ context.Canceled", err)
+	}
+	var ce *graphrepair.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled decode error is not a *CanceledError: %v", err)
+	}
+
+	gram, err := graphrepair.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gram.DeriveContext(ctx, graphrepair.Limits{}); !errors.Is(err, graphrepair.ErrCanceled) {
+		t.Fatalf("canceled derive = %v, want ErrCanceled", err)
+	}
+	// Corrupt errors stay out of the cancellation branch.
+	if _, err := graphrepair.Decode([]byte("junk")); !errors.Is(err, graphrepair.ErrCorrupt) {
+		t.Fatalf("junk decode = %v, want ErrCorrupt", err)
+	}
+}

@@ -33,6 +33,8 @@
 package graphrepair
 
 import (
+	"context"
+
 	"graphrepair/internal/core"
 	"graphrepair/internal/encoding"
 	"graphrepair/internal/grammar"
@@ -112,31 +114,39 @@ func FromTriples(n int, triples []Triple) (*Graph, int) {
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Compress runs gRePair on a simple directed graph whose edge labels
-// are 1..terminals. The input is not modified.
+// are 1..terminals. The input is not modified. For cancellation, see
+// CompressContext.
 func Compress(g *Graph, terminals Label, opts Options) (*Result, error) {
-	return core.Compress(g, terminals, opts)
+	return CompressContext(context.Background(), g, terminals, opts)
 }
 
 // Encode serializes a grammar into the paper's binary format
 // (k²-trees for the start graph, δ-coded rules).
-func Encode(g *Grammar) ([]byte, Sizes, error) { return encoding.Encode(g) }
+func Encode(g *Grammar) (buf []byte, sz Sizes, err error) {
+	defer backstop("encode", &err)
+	return encoding.Encode(g)
+}
 
-// Decode parses a grammar from its binary encoding.
-func Decode(buf []byte) (*Grammar, error) { return encoding.Decode(buf) }
+// Decode parses a grammar from its binary encoding. For limits and
+// cancellation on untrusted input, see DecodeContext.
+func Decode(buf []byte) (*Grammar, error) {
+	return DecodeContext(context.Background(), buf, Limits{})
+}
 
 // Decompress decodes a grammar and derives val(G), the canonical
-// graph it represents (isomorphic to the compressed input).
+// graph it represents (isomorphic to the compressed input). It
+// imposes no limits: a decompression bomb will be materialized. For
+// untrusted input use DecompressContext with Limits.
 func Decompress(buf []byte) (*Graph, error) {
-	g, err := encoding.Decode(buf)
-	if err != nil {
-		return nil, err
-	}
-	return g.Derive(0)
+	return DecompressContext(context.Background(), buf, Limits{})
 }
 
 // NewEngine builds a query engine over a grammar; queries then run on
-// the compressed representation.
-func NewEngine(g *Grammar) (*Engine, error) { return query.New(g) }
+// the compressed representation. For cancellation, see
+// NewEngineContext.
+func NewEngine(g *Grammar) (*Engine, error) {
+	return NewEngineContext(context.Background(), g)
+}
 
 // NewNFA returns an automaton with n states (none accepting) starting
 // in state start, for use with Engine.NewRPQ.

@@ -42,8 +42,8 @@ func TestFullPipelineOnCatalog(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := res.Grammar.MustDerive()
-			got := dec.MustDerive()
+			want := mustDerive(t, res.Grammar)
+			got := mustDerive(t, dec)
 			if !hypergraph.EqualHyper(want, got) {
 				t.Fatal("decoder-side val(G) differs from encoder-side")
 			}

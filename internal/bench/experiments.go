@@ -348,7 +348,10 @@ func Queries(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		derived := res.Grammar.MustDerive()
+		derived, err := res.Grammar.Derive(0)
+		if err != nil {
+			return nil, err
+		}
 		n := eng.NumNodes()
 
 		// Reachability: 200 random pairs.

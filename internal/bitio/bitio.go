@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+
+	"graphrepair/internal/faultinject"
 )
 
 // ErrUnexpectedEOF is returned when a read runs past the end of the
@@ -114,8 +116,14 @@ func (r *Reader) Pos() int { return r.pos }
 // the final byte.
 func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
 
-// ReadBit reads a single bit.
+// ReadBit reads a single bit. Every multi-bit read funnels through
+// here, so this is the one choke point the BitioRead failpoint needs.
 func (r *Reader) ReadBit() (uint, error) {
+	if faultinject.Enabled {
+		if err := faultinject.Hit(faultinject.BitioRead); err != nil {
+			return 0, err
+		}
+	}
 	if r.pos >= len(r.buf)*8 {
 		return 0, ErrUnexpectedEOF
 	}

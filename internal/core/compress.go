@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
+	"graphrepair/internal/faultinject"
+	"graphrepair/internal/govern"
 	"graphrepair/internal/grammar"
 	"graphrepair/internal/hypergraph"
 	"graphrepair/internal/order"
@@ -76,8 +79,20 @@ type Result struct {
 const virtualLabel hypergraph.Label = 0
 
 // Compress runs gRePair on a simple directed edge-labeled graph whose
-// labels are 1..terminals. The input graph is not modified.
+// labels are 1..terminals. The input graph is not modified. It is
+// CompressContext with a background context (no cancellation).
 func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*Result, error) {
+	return CompressContext(context.Background(), g, terminals, opts)
+}
+
+// CompressContext is Compress with cooperative cancellation: ctx is
+// polled at digram-replacement round boundaries (amortized over a
+// small stride so the checks cost nothing against the hot loop), and
+// a canceled run returns a *govern.CanceledError wrapping
+// govern.ErrCanceled without partial results. Compression allocates
+// strictly less than the input graph, so Limits plays no role here —
+// the bomb asymmetry is on the decode/derive side.
+func CompressContext(ctx context.Context, g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*Result, error) {
 	if opts.MaxRank < 1 || opts.MaxRank > MaxSupportedRank {
 		return nil, fmt.Errorf("core: MaxRank %d out of range 1..%d", opts.MaxRank, MaxSupportedRank)
 	}
@@ -94,6 +109,7 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 	}
 
 	c := newCompressor(g, terminals, opts)
+	c.ctx = ctx
 
 	// Stage 1: the main replacement loop, iterated to a fixpoint.
 	// The greedy per-node pairing can leave admissible pairs uncounted
@@ -101,7 +117,9 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 	// fresh occurrence count after convergence often finds more
 	// digrams; every extra pass strictly shrinks the graph or is the
 	// last (DESIGN.md §5).
-	c.runToFixpoint()
+	if err := c.runToFixpoint(); err != nil {
+		return nil, err
+	}
 
 	// Stage 2: connect components with virtual edges and rerun
 	// (Sec. III-A, "additional step"), then strip the virtual edges.
@@ -118,7 +136,9 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 				c.edgeIID[id] = iid
 				c.stats.VirtualEdges++
 			}
-			c.runToFixpoint()
+			if err := c.runToFixpoint(); err != nil {
+				return nil, err
+			}
 			c.stripVirtualEdges()
 		}
 	}
@@ -255,6 +275,10 @@ type compressor struct {
 	g    *hypergraph.Graph
 	gram *grammar.Grammar
 	opts Options
+	// ctx is polled at replacement-round boundaries; tick amortizes
+	// the poll over roundCheckStride rounds.
+	ctx  context.Context
+	tick int
 	// refiner persists order-refinement state across stages: stage n+1
 	// refines incrementally from stage n's order instead of from
 	// scratch, and the per-stage *Result it returns reuses one arena
@@ -316,12 +340,14 @@ type compressor struct {
 // runToFixpoint repeats runStage until a pass creates no further
 // replacements. Termination: every pass with replacements removes at
 // least two edges per created rule.
-func (c *compressor) runToFixpoint() {
+func (c *compressor) runToFixpoint() error {
 	for {
 		before := c.stats.Replacements
-		c.runStage()
+		if err := c.runStage(); err != nil {
+			return err
+		}
 		if c.opts.SinglePass || c.stats.Replacements == before {
-			return
+			return nil
 		}
 	}
 }
@@ -348,10 +374,14 @@ func (c *compressor) stageInit() {
 	}
 }
 
+// roundCheckStride bounds how many replacement rounds may pass
+// between two context polls in runStage.
+const roundCheckStride = 64
+
 // runStage performs one full run of steps 2–7 of the algorithm:
 // count occurrences along the node order, then repeatedly replace the
 // most frequent digram until no digram has two live occurrences.
-func (c *compressor) runStage() {
+func (c *compressor) runStage() error {
 	c.stageInit()
 
 	// Step 2: initial occurrence counting in ω order.
@@ -364,9 +394,14 @@ func (c *compressor) runStage() {
 
 	// Steps 3–7.
 	for {
+		if c.tick++; c.tick%roundCheckStride == 0 {
+			if err := govern.Checkpoint(c.ctx, "core: compress"); err != nil {
+				return err
+			}
+		}
 		di := c.pq.popMax(c.digramPool)
 		if di == noDigram {
-			return
+			return nil
 		}
 		c.replaceDigram(di)
 	}
@@ -525,7 +560,13 @@ func (c *compressor) replaceDigram(di int32) {
 		}
 		c.attBuf = co.appendAttachment(c.attBuf[:0])
 		if nt == 0 {
-			// First admissible occurrence: materialize the rule.
+			// First admissible occurrence: materialize the rule. The
+			// failpoint simulates an allocation failure inside the pooled
+			// builder — a path with no error return, so it panics and the
+			// facade's recover backstop must catch it.
+			if faultinject.Enabled {
+				faultinject.HitPanic(faultinject.CoreRule)
+			}
 			nt = c.gram.AddRule(c.ruleB.build(c.g, co))
 			c.ranks[nt] = co.rank()
 			c.stats.Rounds++

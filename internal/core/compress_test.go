@@ -173,7 +173,7 @@ func TestEmptyAndTinyGraphs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := res.Grammar.MustDerive()
+	d := mustDerive(t, res.Grammar)
 	if d.NumNodes() != 5 || d.NumEdges() != 0 {
 		t.Fatal("empty graph mangled")
 	}
@@ -264,7 +264,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		t.Fatalf("nondeterministic compression: (%d,%d) vs (%d,%d)",
 			a.Grammar.Size(), a.Grammar.NumRules(), b.Grammar.Size(), b.Grammar.NumRules())
 	}
-	da, db := a.Grammar.MustDerive(), b.Grammar.MustDerive()
+	da, db := mustDerive(t, a.Grammar), mustDerive(t, b.Grammar)
 	if !hypergraph.EqualHyper(da, db) {
 		t.Fatal("derivations differ across runs")
 	}
@@ -303,7 +303,7 @@ func TestRoundtripProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		derived := res.Grammar.MustDerive()
+		derived := mustDerive(t, res.Grammar)
 		if !iso.Isomorphic(g, derived) {
 			t.Fatalf("trial %d (opts %+v): roundtrip failed", trial, opts)
 		}

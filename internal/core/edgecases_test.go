@@ -28,7 +28,7 @@ func TestDuplicateVetoDiamonds(t *testing.T) {
 	if res.Stats.SkippedDuplicates == 0 {
 		t.Fatal("expected duplicate-creating replacements to be skipped")
 	}
-	if !iso.Isomorphic(g, res.Grammar.MustDerive()) {
+	if !iso.Isomorphic(g, mustDerive(t, res.Grammar)) {
 		t.Fatal("duplicate veto broke the roundtrip")
 	}
 }
@@ -43,7 +43,7 @@ func TestIsolatedNodesSurvive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := res.Grammar.MustDerive()
+	d := mustDerive(t, res.Grammar)
 	if d.NumNodes() != 10 || d.NumEdges() != 2 {
 		t.Fatalf("derived (%d,%d), want (10,2)", d.NumNodes(), d.NumEdges())
 	}
@@ -68,7 +68,7 @@ func TestManyLabelsRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !iso.Isomorphic(g, res.Grammar.MustDerive()) {
+	if !iso.Isomorphic(g, mustDerive(t, res.Grammar)) {
 		t.Fatal("many-label roundtrip failed")
 	}
 }
@@ -86,7 +86,7 @@ func TestBipartiteCompleteGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(t, res.Grammar)
 	if derived.NumEdges() != 100 || derived.NumNodes() != 20 {
 		t.Fatalf("derived (%d,%d)", derived.NumNodes(), derived.NumEdges())
 	}
@@ -109,7 +109,7 @@ func TestTwoNodeCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !iso.Isomorphic(g, res.Grammar.MustDerive()) {
+	if !iso.Isomorphic(g, mustDerive(t, res.Grammar)) {
 		t.Fatal("antiparallel roundtrip failed")
 	}
 }
@@ -123,7 +123,7 @@ func TestFixpointStagesTerminate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := res.Grammar.MustDerive()
+	d := mustDerive(t, res.Grammar)
 	if d.NumNodes() != g.NumNodes() || d.NumEdges() != g.NumEdges() {
 		t.Fatal("fixpoint broke sizes")
 	}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"graphrepair/internal/order"
+)
+
+// TestDerivedSizeOracle pins the analytic size computation — the
+// bomb-defense pre-check of DeriveContext — against the materialized
+// truth: over every golden corpus and an options spread,
+// Grammar.DerivedSize must equal exactly the node and edge counts of
+// the graph Derive actually builds. Any divergence would let a bomb
+// slip past the limit gate (undercount) or reject legitimate input
+// (overcount).
+func TestDerivedSizeOracle(t *testing.T) {
+	variants := []struct {
+		tag  string
+		opts Options
+	}{
+		{"default", DefaultOptions()},
+		{"maxRank2", Options{MaxRank: 2, Order: order.FP, ConnectComponents: true}},
+		{"maxRank8-noPrune", Options{MaxRank: 8, Order: order.FP, SkipPrune: true}},
+		{"bfs", Options{MaxRank: 4, Order: order.BFS, ConnectComponents: true}},
+	}
+	for name, c := range goldenCorpora(t) {
+		for _, v := range variants {
+			res, err := Compress(c.g, c.labels, v.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, v.tag, err)
+			}
+			nodes, edges := res.Grammar.DerivedSize()
+			h := mustDerive(t, res.Grammar)
+			if nodes != int64(h.NumNodes()) || edges != int64(h.NumEdges()) {
+				t.Errorf("%s/%s: analytic size (%d nodes, %d edges) != materialized (%d, %d)",
+					name, v.tag, nodes, edges, h.NumNodes(), h.NumEdges())
+			}
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package encoding
+
+import (
+	"testing"
+
+	"graphrepair/internal/grammar"
+	"graphrepair/internal/hypergraph"
+)
+
+// mustDerive materializes val(g), failing the test on error.
+func mustDerive(tb testing.TB, g *grammar.Grammar) *hypergraph.Graph {
+	tb.Helper()
+	h, err := g.Derive(0)
+	if err != nil {
+		tb.Fatalf("Derive: %v", err)
+	}
+	return h
+}

@@ -23,12 +23,14 @@
 package encoding
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
 
 	"graphrepair/internal/bitio"
+	"graphrepair/internal/govern"
 	"graphrepair/internal/grammar"
 	"graphrepair/internal/hypergraph"
 	"graphrepair/internal/k2tree"
@@ -258,15 +260,55 @@ func permKey(p []int) string {
 	return string(b)
 }
 
-// Decode parses a grammar encoded by Encode.
+// Estimated heap bytes per decoded node and edge, charged against the
+// allocation budget BEFORE the corresponding tables grow. The numbers
+// approximate the hypergraph arenas (per node: incidence head + alive
+// bit + ID bookkeeping; per edge: label, attachment span, incidence
+// links); exactness does not matter — the budget defends against
+// orders-of-magnitude amplification, not byte-level accounting.
+const (
+	nodeCostBytes = 48
+	edgeCostBytes = 64
+)
+
+// Decode parses a grammar encoded by Encode, with no limits and no
+// cancellation; it is DecodeContext with a background context.
 func Decode(buf []byte) (*grammar.Grammar, error) {
+	return DecodeContext(context.Background(), buf, govern.Limits{})
+}
+
+// DecodeContext parses a grammar encoded by Encode under resource
+// governance: lim.MaxAllocBytes bounds the estimated bytes the decoder
+// may allocate (charged from the claimed counts before each table
+// grows, so a short file claiming millions of nodes is rejected before
+// the allocation happens, not after), and ctx is polled between rules
+// and between start-graph labels. Every failure is classified under
+// the govern taxonomy: corrupt input wraps govern.ErrCorrupt, budget
+// overruns wrap govern.ErrLimit, cancellation wraps govern.ErrCanceled.
+func DecodeContext(ctx context.Context, buf []byte, lim govern.Limits) (*grammar.Grammar, error) {
+	g, err := decode(ctx, buf, lim)
+	if err != nil {
+		return nil, govern.Corrupt(err)
+	}
+	return g, nil
+}
+
+func decode(ctx context.Context, buf []byte, lim govern.Limits) (*grammar.Grammar, error) {
 	r := bitio.NewReader(buf)
+	b := govern.NewBudget(lim.MaxAllocBytes)
+	bud := &b
 	m, err := r.ReadBits(32)
-	if err != nil || m != magic {
+	if err != nil {
+		return nil, fmt.Errorf("encoding: bad magic: %w", err)
+	}
+	if m != magic {
 		return nil, errors.New("encoding: bad magic")
 	}
 	v, err := r.ReadBits(8)
-	if err != nil || v != version {
+	if err != nil {
+		return nil, fmt.Errorf("encoding: bad version: %w", err)
+	}
+	if v != version {
 		return nil, fmt.Errorf("encoding: unsupported version %d", v)
 	}
 	terms, err := r.ReadDelta0()
@@ -285,13 +327,16 @@ func Decode(buf []byte) (*grammar.Grammar, error) {
 	}
 	g := grammar.New(hypergraph.Label(terms), nil)
 	for i := uint64(0); i < nRules; i++ {
-		rhs, err := decodeRule(r, g)
+		if err := govern.Checkpoint(ctx, "encoding: decode rules"); err != nil {
+			return nil, err
+		}
+		rhs, err := decodeRule(r, g, bud)
 		if err != nil {
 			return nil, fmt.Errorf("encoding: rule %d: %w", i, err)
 		}
 		g.AddRule(rhs)
 	}
-	if err := decodeStart(r, g); err != nil {
+	if err := decodeStart(ctx, r, g, bud); err != nil {
 		return nil, err
 	}
 	if err := g.Validate(); err != nil {
@@ -300,7 +345,7 @@ func Decode(buf []byte) (*grammar.Grammar, error) {
 	return g, nil
 }
 
-func decodeRule(r *bitio.Reader, g *grammar.Grammar) (*hypergraph.Graph, error) {
+func decodeRule(r *bitio.Reader, g *grammar.Grammar, bud *govern.Budget) (*hypergraph.Graph, error) {
 	nNodes, err := r.ReadDelta()
 	if err != nil {
 		return nil, err
@@ -318,6 +363,11 @@ func decodeRule(r *bitio.Reader, g *grammar.Grammar) (*hypergraph.Graph, error) 
 	}
 	if nNodes > uint64(r.Remaining())+64 || nEdges > uint64(r.Remaining()) {
 		return nil, fmt.Errorf("implausible rule sizes (%d nodes, %d edges)", nNodes, nEdges)
+	}
+	if err := bud.Charge(govern.SatAdd(
+		govern.SatMul(int64(nNodes), nodeCostBytes),
+		govern.SatMul(int64(nEdges), edgeCostBytes))); err != nil {
+		return nil, err
 	}
 	rhs := hypergraph.New(int(nNodes))
 	for e := uint64(0); e < nEdges; e++ {
@@ -378,13 +428,19 @@ func decodeRule(r *bitio.Reader, g *grammar.Grammar) (*hypergraph.Graph, error) 
 	return rhs, nil
 }
 
-func decodeStart(r *bitio.Reader, g *grammar.Grammar) error {
+func decodeStart(ctx context.Context, r *bitio.Reader, g *grammar.Grammar, bud *govern.Budget) error {
 	n, err := r.ReadDelta0()
 	if err != nil {
 		return err
 	}
 	if n > maxDecodeNodes {
 		return fmt.Errorf("encoding: implausible start-graph node count %d", n)
+	}
+	// The k²-trees are sublinear in the node count, so this claimed
+	// count is the one allocation the input length cannot bound — the
+	// budget is the only defense below maxDecodeNodes.
+	if err := bud.Charge(govern.SatMul(int64(n), nodeCostBytes)); err != nil {
+		return err
 	}
 	s := hypergraph.New(int(n))
 	nLabels, err := r.ReadDelta0()
@@ -395,6 +451,9 @@ func decodeStart(r *bitio.Reader, g *grammar.Grammar) error {
 		return fmt.Errorf("encoding: implausible label count %d", nLabels)
 	}
 	for i := uint64(0); i < nLabels; i++ {
+		if err := govern.Checkpoint(ctx, "encoding: decode start graph"); err != nil {
+			return err
+		}
 		lab64, err := r.ReadDelta()
 		if err != nil {
 			return err
@@ -415,7 +474,14 @@ func decodeStart(r *bitio.Reader, g *grammar.Grammar) error {
 			if err != nil {
 				return err
 			}
-			for _, p := range tr.Points() {
+			// The tree's bitmaps are input-bounded; the points it expands
+			// to become edges, so charge them at edge cost up front.
+			pts := tr.Points()
+			if err := bud.Charge(govern.SatAdd(int64(tr.BitLen()/8),
+				govern.SatMul(int64(len(pts)), edgeCostBytes))); err != nil {
+				return err
+			}
+			for _, p := range pts {
 				if uint64(p.R) >= n || uint64(p.C) >= n {
 					return fmt.Errorf("encoding: label %d: cell (%d,%d) outside %d nodes", lab, p.R, p.C, n)
 				}
@@ -437,15 +503,21 @@ func decodeStart(r *bitio.Reader, g *grammar.Grammar) error {
 		if err != nil {
 			return err
 		}
+		pts := tr.Points()
+		if err := bud.Charge(govern.SatAdd(int64(tr.BitLen()/8), govern.SatAdd(
+			govern.SatMul(int64(nEdges), edgeCostBytes),
+			govern.SatMul(int64(len(pts)), 8)))); err != nil {
+			return err
+		}
 		// Rows attached per column, ascending (= sorted attachment).
 		cols := make([][]hypergraph.NodeID, nEdges)
-		for _, p := range tr.Points() {
+		for _, p := range pts {
 			if uint64(p.C) >= nEdges || uint64(p.R) >= n {
 				return fmt.Errorf("encoding: label %d: incidence cell (%d,%d) out of range", lab, p.R, p.C)
 			}
 			cols[p.C] = append(cols[p.C], hypergraph.NodeID(p.R+1))
 		}
-		perms, err := decodePermutations(r, int(nEdges), int(rank))
+		perms, err := decodePermutations(r, int(nEdges), int(rank), bud)
 		if err != nil {
 			return err
 		}
@@ -464,7 +536,7 @@ func decodeStart(r *bitio.Reader, g *grammar.Grammar) error {
 	return nil
 }
 
-func decodePermutations(r *bitio.Reader, nEdges, rank int) ([][]int, error) {
+func decodePermutations(r *bitio.Reader, nEdges, rank int, bud *govern.Budget) ([][]int, error) {
 	nPerms, err := r.ReadDelta0()
 	if err != nil {
 		return nil, err
@@ -480,6 +552,11 @@ func decodePermutations(r *bitio.Reader, nEdges, rank int) ([][]int, error) {
 		}
 	} else if nPerms > uint64(r.Remaining())/perBits+1 {
 		return nil, fmt.Errorf("implausible permutation count %d", nPerms)
+	}
+	if err := bud.Charge(govern.SatAdd(
+		govern.SatMul(govern.SatMul(int64(nPerms), int64(rank)), 8),
+		govern.SatMul(int64(nEdges), 8))); err != nil {
+		return nil, err
 	}
 	dict := make([][]int, nPerms)
 	for i := range dict {

@@ -46,8 +46,8 @@ func TestRoundtripChain(t *testing.T) {
 	}
 	// Encoder-side and decoder-side val(G) must be IDENTICAL graphs
 	// (same IDs), not merely isomorphic.
-	want := gram.MustDerive()
-	got := dec.MustDerive()
+	want := mustDerive(t, gram)
+	got := mustDerive(t, dec)
 	if !hypergraph.EqualHyper(want, got) {
 		t.Fatal("decoded grammar derives a different graph")
 	}
@@ -59,18 +59,18 @@ func TestRoundtripChain(t *testing.T) {
 func TestNormalizePreservesDerivation(t *testing.T) {
 	g := buildChain(16)
 	gram := compress(t, g, 2)
-	before := gram.MustDerive()
+	before := mustDerive(t, gram)
 	Normalize(gram)
 	if err := gram.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	after := gram.MustDerive()
+	after := mustDerive(t, gram)
 	if !iso.Isomorphic(before, after) {
 		t.Fatal("Normalize changed the derived graph")
 	}
 	// Idempotence: a second normalization is a no-op derivation-wise.
 	Normalize(gram)
-	if !hypergraph.EqualHyper(after, gram.MustDerive()) {
+	if !hypergraph.EqualHyper(after, mustDerive(t, gram)) {
 		t.Fatal("Normalize not idempotent")
 	}
 	// Ext nodes must now be 1..rank everywhere.
@@ -106,7 +106,7 @@ func TestRoundtripWithHyperedgeRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hypergraph.EqualHyper(gram.MustDerive(), dec.MustDerive()) {
+	if !hypergraph.EqualHyper(mustDerive(t, gram), mustDerive(t, dec)) {
 		t.Fatal("hyperedge roundtrip failed")
 	}
 }
@@ -143,8 +143,8 @@ func TestRoundtripStarWithRank1Rules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := gram.MustDerive()
-	got := dec.MustDerive()
+	want := mustDerive(t, gram)
+	got := mustDerive(t, dec)
 	if !hypergraph.EqualHyper(want, got) {
 		t.Fatal("star roundtrip failed")
 	}
@@ -216,7 +216,7 @@ func TestRoundtripRandomGraphsProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if !hypergraph.EqualHyper(res.Grammar.MustDerive(), dec.MustDerive()) {
+		if !hypergraph.EqualHyper(mustDerive(t, res.Grammar), mustDerive(t, dec)) {
 			t.Fatalf("trial %d: roundtrip val mismatch", trial)
 		}
 	}

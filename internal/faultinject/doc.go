@@ -1,0 +1,49 @@
+// Package faultinject provides build-tag-gated failpoints for the
+// torture harness. In a normal build (without the "faultinject" build
+// tag) every hook is a no-op guarded by the constant Enabled = false,
+// so the compiler removes the calls entirely and the hot paths pay
+// nothing. With `-tags faultinject` the hooks become live: a test
+// arms a named failpoint with a countdown and an error, and the
+// instrumented production code either returns the error (Hit, for
+// code with an error path) or panics with it (HitPanic, for
+// allocation-style code with no error return — the facade's recover
+// backstop must convert those panics into errors, which is exactly
+// what the torture harness asserts).
+//
+// Instrumented sites and their names:
+//
+//   - "bitio.read"        — Reader bit reads (decode input faults)
+//   - "hypergraph.grow"   — graph arena growth in AddEdge (allocation
+//     faults; panics, proving the facade backstop)
+//   - "core.rule"         — rule materialization in the compressor
+//     (panics, proving the facade backstop)
+//   - "grammar.derive"    — rule expansion in DeriveContext (returns
+//     an error through the new error path)
+//
+// Usage in instrumented code:
+//
+//	if faultinject.Enabled {
+//	    if err := faultinject.Hit(faultinject.BitioRead); err != nil {
+//	        return 0, err
+//	    }
+//	}
+//
+// Usage in the torture harness:
+//
+//	defer faultinject.Reset()
+//	faultinject.Arm(faultinject.BitioRead, 17, errInjected)
+//	_, err := graphrepair.DecompressContext(ctx, buf, limits)
+//	// err must be non-nil; the process must not panic.
+package faultinject
+
+// Failpoint names. Constants so instrumented code and the harness
+// cannot drift apart on spelling.
+const (
+	BitioRead      = "bitio.read"
+	HypergraphGrow = "hypergraph.grow"
+	CoreRule       = "core.rule"
+	GrammarDerive  = "grammar.derive"
+)
+
+// Names lists every failpoint, for harnesses that sweep all of them.
+var Names = []string{BitioRead, HypergraphGrow, CoreRule, GrammarDerive}

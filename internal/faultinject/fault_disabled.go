@@ -1,0 +1,23 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether failpoints are compiled in. In this (the
+// default) build they are not: every hook below is a no-op behind the
+// constant-false guard, so instrumented call sites compile away.
+const Enabled = false
+
+// Arm is a no-op without the faultinject build tag.
+func Arm(name string, after int, err error) {}
+
+// Disarm is a no-op without the faultinject build tag.
+func Disarm(name string) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Hit never fires without the faultinject build tag.
+func Hit(name string) error { return nil }
+
+// HitPanic never fires without the faultinject build tag.
+func HitPanic(name string) {}

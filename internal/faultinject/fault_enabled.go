@@ -1,0 +1,69 @@
+//go:build faultinject
+
+package faultinject
+
+import "sync"
+
+// Enabled reports whether failpoints are compiled in. This build has
+// them live.
+const Enabled = true
+
+type point struct {
+	countdown int // hits to absorb before firing
+	err       error
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Arm schedules failpoint name to fire once after `after` more hits
+// (0 = the very next hit), yielding err. Arming replaces any previous
+// arming of the same name; a failpoint disarms itself when it fires,
+// so downstream retries do not loop forever on the same fault.
+func Arm(name string, after int, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{countdown: after, err: err}
+}
+
+// Disarm removes one failpoint.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+}
+
+// Hit reports the armed error when failpoint name fires, nil
+// otherwise. Firing disarms the point.
+func Hit(name string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil {
+		return nil
+	}
+	if p.countdown > 0 {
+		p.countdown--
+		return nil
+	}
+	delete(points, name)
+	return p.err
+}
+
+// HitPanic is Hit for instrumented sites with no error return
+// (allocation-style code): when the failpoint fires it panics with
+// the armed error, exercising the facade's recover backstop.
+func HitPanic(name string) {
+	if err := Hit(name); err != nil {
+		panic(err)
+	}
+}

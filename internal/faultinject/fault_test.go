@@ -1,0 +1,69 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+var errBoom = errors.New("injected fault")
+
+// The unit tests run in both builds: without the tag they pin the
+// no-op contract (hooks never fire), with it the arming semantics.
+func TestHitSemantics(t *testing.T) {
+	defer Reset()
+	if err := Hit(BitioRead); err != nil {
+		t.Fatalf("unarmed failpoint fired: %v", err)
+	}
+	Arm(BitioRead, 2, errBoom)
+	if !Enabled {
+		// Disabled build: arming is a no-op.
+		for i := 0; i < 5; i++ {
+			if err := Hit(BitioRead); err != nil {
+				t.Fatalf("disabled build fired: %v", err)
+			}
+		}
+		return
+	}
+	if err := Hit(BitioRead); err != nil {
+		t.Fatalf("fired during countdown (2 left): %v", err)
+	}
+	if err := Hit(BitioRead); err != nil {
+		t.Fatalf("fired during countdown (1 left): %v", err)
+	}
+	if err := Hit(BitioRead); !errors.Is(err, errBoom) {
+		t.Fatalf("armed failpoint did not fire: %v", err)
+	}
+	// Firing disarms.
+	if err := Hit(BitioRead); err != nil {
+		t.Fatalf("failpoint fired twice: %v", err)
+	}
+}
+
+func TestHitPanic(t *testing.T) {
+	defer Reset()
+	Arm(HypergraphGrow, 0, errBoom)
+	fired := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fired = true
+				if err, ok := r.(error); !ok || !errors.Is(err, errBoom) {
+					t.Fatalf("panic value is not the armed error: %v", r)
+				}
+			}
+		}()
+		HitPanic(HypergraphGrow)
+	}()
+	if fired != Enabled {
+		t.Fatalf("HitPanic fired=%v, want %v (Enabled)", fired, Enabled)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	defer Reset()
+	Arm(CoreRule, 0, errBoom)
+	Disarm(CoreRule)
+	if err := Hit(CoreRule); err != nil {
+		t.Fatalf("disarmed failpoint fired: %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package govern provides the resource-governance primitives threaded
+// through every public entry point of the module: operation Limits,
+// the typed error taxonomy (ErrLimit / ErrCorrupt / ErrCanceled), an
+// allocation Budget for decoders, and context checkpoints.
+//
+// SL-HR grammars are exponentially succinct: a few hundred encoded
+// bytes can derive a graph with billions of edges, so an unlimited
+// Decompress or Derive on untrusted input is a decompression bomb.
+// The defense implemented across the packages that import govern is
+// analytic, not reactive — derived sizes are computed in O(|rules|)
+// from rule sizes before anything is materialized, allocation budgets
+// are charged from claimed counts before buffers are grown, and
+// cancellation is polled at natural work boundaries (compression
+// rounds, rule expansions, query frontier pops).
+//
+// The error taxonomy forms a hierarchy under errors.Is:
+//
+//   - ErrLimit:    a resource limit was exceeded (typed as *LimitError,
+//     which names the resource and both the demanded and the allowed
+//     amount). The input may be perfectly well-formed.
+//   - ErrCorrupt:  the input bytes are malformed. Decoders classify
+//     every parse failure under this sentinel.
+//   - ErrCanceled: the operation's context was canceled or its
+//     deadline expired (typed as *CanceledError, which also unwraps to
+//     the original context error, so errors.Is(err, context.Canceled)
+//     and errors.Is(err, context.DeadlineExceeded) keep working).
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sentinel errors of the taxonomy; match with errors.Is.
+var (
+	// ErrLimit reports that an operation was rejected or aborted
+	// because it exceeded a resource limit.
+	ErrLimit = errors.New("resource limit exceeded")
+	// ErrCorrupt reports malformed input bytes.
+	ErrCorrupt = errors.New("corrupt input")
+	// ErrCanceled reports that the operation's context was canceled or
+	// its deadline expired.
+	ErrCanceled = errors.New("operation canceled")
+)
+
+// Limits bounds the resources an operation may consume. The zero
+// value imposes no limits (every field: 0 = unlimited), which is what
+// the context-free convenience functions pass, so limited and
+// unlimited paths share one implementation.
+type Limits struct {
+	// MaxNodes caps |val(G)|V, the node count of the derived graph.
+	// Derivation is rejected analytically, before materializing
+	// anything, when the bottom-up size computation exceeds the cap.
+	MaxNodes int64
+	// MaxEdges caps the terminal-edge count of the derived graph, with
+	// the same analytic pre-check as MaxNodes.
+	MaxEdges int64
+	// MaxAllocBytes caps the estimated bytes a decoder may allocate
+	// for counts claimed by the input (nodes, edges, dictionaries,
+	// bitmaps). Claimed counts are charged against the budget before
+	// the corresponding buffers are grown, so a corrupt or hostile
+	// header fails fast instead of OOMing the process.
+	MaxAllocBytes int64
+}
+
+// Unlimited reports whether no limit field is set.
+func (l Limits) Unlimited() bool { return l == Limits{} }
+
+// LimitError is the typed error behind ErrLimit: which resource was
+// exhausted, how much was demanded, and how much was allowed.
+type LimitError struct {
+	Resource string // e.g. "derived nodes", "derived edges", "decode allocation bytes"
+	Demanded int64  // amount the operation needed (saturating; MaxInt64 = overflow)
+	Allowed  int64  // the configured limit
+}
+
+func (e *LimitError) Error() string {
+	if e.Demanded == math.MaxInt64 {
+		return fmt.Sprintf("govern: %s overflow int64, limit %d: %v", e.Resource, e.Allowed, ErrLimit)
+	}
+	return fmt.Sprintf("govern: %s %d exceeds limit %d: %v", e.Resource, e.Demanded, e.Allowed, ErrLimit)
+}
+
+// Unwrap makes errors.Is(err, ErrLimit) hold.
+func (e *LimitError) Unwrap() error { return ErrLimit }
+
+// CanceledError is the typed error behind ErrCanceled. It unwraps to
+// both ErrCanceled and the original context error.
+type CanceledError struct {
+	// Op names the operation that observed the cancellation.
+	Op string
+	// Cause is the context error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("govern: %s: %v: %v", e.Op, ErrCanceled, e.Cause)
+}
+
+// Unwrap exposes both the sentinel and the context error.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
+// Checkpoint polls ctx and converts a cancellation into a typed
+// *CanceledError naming the operation. It is cheap enough for
+// per-round polling (a nil check for context.Background()); hot loops
+// amortize it further with a stride counter.
+func Checkpoint(ctx context.Context, op string) error {
+	if err := ctx.Err(); err != nil {
+		return &CanceledError{Op: op, Cause: err}
+	}
+	return nil
+}
+
+// Corrupt classifies err under ErrCorrupt unless it already belongs
+// to the limit or cancellation branches of the taxonomy (those pass
+// through unchanged). A nil err stays nil.
+func Corrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrLimit) || errors.Is(err, ErrCanceled) || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}
+
+// Budget meters estimated decoder allocations against
+// Limits.MaxAllocBytes. Charges are made from counts claimed by the
+// input before the corresponding allocation happens, so the budget
+// bounds peak memory even when the claims are hostile. The zero
+// Budget (or one built from a zero limit) is unlimited.
+type Budget struct {
+	limit   int64
+	charged int64
+}
+
+// NewBudget returns a budget of maxBytes (0 = unlimited).
+func NewBudget(maxBytes int64) Budget { return Budget{limit: maxBytes} }
+
+// Charge records n estimated bytes and returns a *LimitError when the
+// cumulative total exceeds the budget. Negative or overflowing totals
+// saturate and are rejected.
+func (b *Budget) Charge(n int64) error {
+	if n < 0 || b.charged > math.MaxInt64-n {
+		b.charged = math.MaxInt64
+	} else {
+		b.charged += n
+	}
+	if b.limit > 0 && b.charged > b.limit {
+		return &LimitError{Resource: "decode allocation bytes", Demanded: b.charged, Allowed: b.limit}
+	}
+	return nil
+}
+
+// Charged returns the cumulative estimated bytes charged so far.
+func (b *Budget) Charged() int64 { return b.charged }
+
+// SatAdd adds two non-negative int64s, saturating at MaxInt64. It is
+// the arithmetic of the analytic size computations: a grammar a few
+// hundred bytes long can derive 2^100 edges, so naive addition would
+// wrap and defeat the bomb defense.
+func SatAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// SatMul multiplies two non-negative int64s, saturating at MaxInt64.
+func SatMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}

@@ -1,0 +1,128 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLimitErrorTaxonomy(t *testing.T) {
+	var err error = &LimitError{Resource: "derived nodes", Demanded: 10, Allowed: 5}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("LimitError does not match ErrLimit: %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrCanceled) {
+		t.Fatalf("LimitError matches a foreign sentinel: %v", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Demanded != 10 {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+}
+
+func TestCanceledErrorTaxonomy(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Checkpoint(ctx, "test op")
+	if err == nil {
+		t.Fatal("Checkpoint on canceled context returned nil")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("not ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("does not unwrap to context.Canceled: %v", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	derr := Checkpoint(dctx, "test op")
+	if !errors.Is(derr, context.DeadlineExceeded) || !errors.Is(derr, ErrCanceled) {
+		t.Fatalf("deadline error mis-typed: %v", derr)
+	}
+}
+
+func TestCheckpointLiveContext(t *testing.T) {
+	if err := Checkpoint(context.Background(), "op"); err != nil {
+		t.Fatalf("Checkpoint on background context: %v", err)
+	}
+}
+
+func TestCorruptClassification(t *testing.T) {
+	base := errors.New("bad magic")
+	err := Corrupt(base)
+	if !errors.Is(err, ErrCorrupt) || !errors.Is(err, base) {
+		t.Fatalf("Corrupt classification broken: %v", err)
+	}
+	// Limit and cancellation errors pass through unclassified.
+	le := &LimitError{Resource: "x", Demanded: 2, Allowed: 1}
+	if got := Corrupt(le); !errors.Is(got, ErrLimit) || errors.Is(got, ErrCorrupt) {
+		t.Fatalf("limit error was reclassified: %v", got)
+	}
+	if got := Corrupt(nil); got != nil {
+		t.Fatalf("Corrupt(nil) = %v", got)
+	}
+	// Idempotent.
+	if got := Corrupt(err); got != err {
+		t.Fatalf("double classification changed the error: %v", got)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Charge(60); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := b.Charge(41); err == nil {
+		t.Fatal("overrun not detected")
+	} else if !errors.Is(err, ErrLimit) {
+		t.Fatalf("overrun not ErrLimit: %v", err)
+	}
+
+	unlimited := NewBudget(0)
+	if err := unlimited.Charge(1 << 60); err != nil {
+		t.Fatalf("unlimited budget errored: %v", err)
+	}
+
+	// Overflow saturates and still trips a finite budget.
+	b2 := NewBudget(1 << 40)
+	b2.Charge(math.MaxInt64 - 1)
+	if err := b2.Charge(math.MaxInt64 - 1); err == nil {
+		t.Fatal("saturated overcharge not detected")
+	}
+	if b2.Charged() != math.MaxInt64 {
+		t.Fatalf("charge did not saturate: %d", b2.Charged())
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if got := SatAdd(1, 2); got != 3 {
+		t.Fatalf("SatAdd(1,2) = %d", got)
+	}
+	if got := SatAdd(math.MaxInt64, 1); got != math.MaxInt64 {
+		t.Fatalf("SatAdd overflow = %d", got)
+	}
+	if got := SatAdd(math.MaxInt64, math.MaxInt64); got != math.MaxInt64 {
+		t.Fatalf("SatAdd double overflow = %d", got)
+	}
+	if got := SatMul(1<<40, 1<<40); got != math.MaxInt64 {
+		t.Fatalf("SatMul overflow = %d", got)
+	}
+	if got := SatMul(0, math.MaxInt64); got != 0 {
+		t.Fatalf("SatMul zero = %d", got)
+	}
+	if got := SatMul(3, 7); got != 21 {
+		t.Fatalf("SatMul(3,7) = %d", got)
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	if !(Limits{}).Unlimited() {
+		t.Fatal("zero Limits not unlimited")
+	}
+	if (Limits{MaxNodes: 1}).Unlimited() {
+		t.Fatal("MaxNodes=1 reported unlimited")
+	}
+}

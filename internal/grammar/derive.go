@@ -1,9 +1,12 @@
 package grammar
 
 import (
+	"context"
 	"fmt"
 
 	"graphrepair/internal/buf"
+	"graphrepair/internal/faultinject"
+	"graphrepair/internal/govern"
 	"graphrepair/internal/hypergraph"
 )
 
@@ -12,6 +15,11 @@ import (
 // recursively, the nodes derived by the nonterminal edges of rhs(A).
 // This is the basis of the deterministic node numbering of val(G) and
 // of the node-locator used by queries.
+//
+// Counts saturate at MaxInt64: SL-HR grammars are exponentially
+// succinct, so a grammar a few hundred bytes long can derive 2^100
+// nodes, and wrapping arithmetic would let such a bomb masquerade as
+// a small graph (the analytic limit checks depend on these counts).
 func (g *Grammar) DerivedNodeCounts() map[hypergraph.Label]int64 {
 	counts := make(map[hypergraph.Label]int64, len(g.rules))
 	for _, l := range g.BottomUpOrder() {
@@ -19,7 +27,7 @@ func (g *Grammar) DerivedNodeCounts() map[hypergraph.Label]int64 {
 		n := int64(r.NumNodes() - r.Rank())
 		for id := range r.EdgesSeq() {
 			if lab := r.Label(id); !g.IsTerminal(lab) {
-				n += counts[lab]
+				n = govern.SatAdd(n, counts[lab])
 			}
 		}
 		counts[l] = n
@@ -28,7 +36,8 @@ func (g *Grammar) DerivedNodeCounts() map[hypergraph.Label]int64 {
 }
 
 // DerivedEdgeCounts returns, for every nonterminal A, the number of
-// terminal edges val(A) contains.
+// terminal edges val(A) contains, saturating at MaxInt64 like
+// DerivedNodeCounts.
 func (g *Grammar) DerivedEdgeCounts() map[hypergraph.Label]int64 {
 	counts := make(map[hypergraph.Label]int64, len(g.rules))
 	for _, l := range g.BottomUpOrder() {
@@ -36,9 +45,9 @@ func (g *Grammar) DerivedEdgeCounts() map[hypergraph.Label]int64 {
 		var n int64
 		for id := range r.EdgesSeq() {
 			if lab := r.Label(id); g.IsTerminal(lab) {
-				n++
+				n = govern.SatAdd(n, 1)
 			} else {
-				n += counts[lab]
+				n = govern.SatAdd(n, counts[lab])
 			}
 		}
 		counts[l] = n
@@ -47,37 +56,73 @@ func (g *Grammar) DerivedEdgeCounts() map[hypergraph.Label]int64 {
 }
 
 // DerivedSize returns (|val(G)|V, number of terminal edges of val(G))
-// without materializing the derived graph.
+// without materializing the derived graph, in O(|G|). Both counts
+// saturate at MaxInt64. This is the analytic pre-check behind every
+// derivation limit: a decompression bomb is rejected from rule sizes
+// alone, before a single node is allocated.
 func (g *Grammar) DerivedSize() (nodes, edges int64) {
 	nc, ec := g.DerivedNodeCounts(), g.DerivedEdgeCounts()
 	nodes = int64(g.Start.NumNodes())
 	for id := range g.Start.EdgesSeq() {
 		if lab := g.Start.Label(id); g.IsTerminal(lab) {
-			edges++
+			edges = govern.SatAdd(edges, 1)
 		} else {
-			nodes += nc[lab]
-			edges += ec[lab]
+			nodes = govern.SatAdd(nodes, nc[lab])
+			edges = govern.SatAdd(edges, ec[lab])
 		}
 	}
 	return nodes, edges
 }
 
-// Derive computes val(G), the canonical derived hypergraph, following
-// the paper's deterministic numbering: start-graph nodes take IDs
-// 1..m in ascending order; nonterminal edges are then derived in
-// canonical order, each assigning the next free IDs to the internal
+// checkLimits runs the analytic size pre-check against lim.
+func (g *Grammar) checkLimits(lim govern.Limits) error {
+	if lim.MaxNodes <= 0 && lim.MaxEdges <= 0 {
+		return nil
+	}
+	nodes, edges := g.DerivedSize()
+	if lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+		return &govern.LimitError{Resource: "derived nodes", Demanded: nodes, Allowed: lim.MaxNodes}
+	}
+	if lim.MaxEdges > 0 && edges > lim.MaxEdges {
+		return &govern.LimitError{Resource: "derived edges", Demanded: edges, Allowed: lim.MaxEdges}
+	}
+	return nil
+}
+
+// Derive computes val(G) with an optional node cap and no
+// cancellation; it is DeriveContext with a background context.
+// maxNodes <= 0 means no limit.
+func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
+	return g.DeriveContext(context.Background(), govern.Limits{MaxNodes: maxNodes})
+}
+
+// deriveCheckStride bounds how many rule expansions may pass between
+// two context polls.
+const deriveCheckStride = 64
+
+// DeriveContext computes val(G), the canonical derived hypergraph,
+// following the paper's deterministic numbering: start-graph nodes
+// take IDs 1..m in ascending order; nonterminal edges are then derived
+// in canonical order, each assigning the next free IDs to the internal
 // nodes of its right-hand side (ascending rule-node order) before
 // recursively deriving the nested nonterminal edges in ascending
 // rule-edge order. The derived subgraph of each nonterminal edge thus
 // occupies a contiguous ID block, which the query package exploits.
 //
-// maxNodes guards against deriving graphs too large to materialize
-// (SL-HR grammars can be exponentially smaller than val(G)); pass 0
-// for no limit.
-func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
-	nodes, _ := g.DerivedSize()
-	if maxNodes > 0 && nodes > maxNodes {
-		return nil, fmt.Errorf("grammar: val(G) has %d nodes, exceeding limit %d", nodes, maxNodes)
+// Resource governance (SL-HR grammars can be exponentially smaller
+// than val(G), so an unlimited derivation of an untrusted grammar is
+// a decompression bomb):
+//
+//   - lim.MaxNodes / lim.MaxEdges are enforced analytically: the
+//     derived size is computed bottom-up from rule sizes in O(|G|)
+//     and an over-budget grammar is rejected with a *LimitError
+//     before anything is materialized.
+//   - ctx is polled at rule-expansion boundaries; cancellation
+//     surfaces as a *CanceledError wrapping ErrCanceled and the
+//     context's error.
+func (g *Grammar) DeriveContext(ctx context.Context, lim govern.Limits) (*hypergraph.Graph, error) {
+	if err := g.checkLimits(lim); err != nil {
+		return nil, err
 	}
 
 	out := hypergraph.New(0)
@@ -89,10 +134,29 @@ func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
 	}
 
 	// expand derives one nonterminal edge instance: att holds the
-	// out-graph nodes the instance is attached to.
-	var expand func(label hypergraph.Label, att []hypergraph.NodeID)
-	expand = func(label hypergraph.Label, att []hypergraph.NodeID) {
+	// out-graph nodes the instance is attached to. tick amortizes the
+	// context poll across expansions.
+	tick := 0
+	var expand func(label hypergraph.Label, att []hypergraph.NodeID) error
+	expand = func(label hypergraph.Label, att []hypergraph.NodeID) error {
+		if tick++; tick%deriveCheckStride == 0 {
+			if err := govern.Checkpoint(ctx, "grammar: derive"); err != nil {
+				return err
+			}
+		}
+		if faultinject.Enabled {
+			if err := faultinject.Hit(faultinject.GrammarDerive); err != nil {
+				return fmt.Errorf("grammar: expanding rule %d: %w", label, err)
+			}
+		}
 		rhs := g.Rule(label)
+		if rhs == nil {
+			return govern.Corrupt(fmt.Errorf("grammar: derive: label %d has no rule", label))
+		}
+		if len(att) != rhs.Rank() {
+			return govern.Corrupt(fmt.Errorf("grammar: derive: rule %d has rank %d, edge attaches %d nodes",
+				label, rhs.Rank(), len(att)))
+		}
 		m := make(map[hypergraph.NodeID]hypergraph.NodeID, rhs.NumNodes())
 		for i, x := range rhs.Ext() {
 			m[x] = att[i]
@@ -120,9 +184,12 @@ func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
 				for i, v := range att {
 					mapped[i] = m[v]
 				}
-				expand(lab, mapped)
+				if err := expand(lab, mapped); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
 
 	// Terminal edges of the start graph first, in ascending edge order.
@@ -143,18 +210,11 @@ func (g *Grammar) Derive(maxNodes int64) (*hypergraph.Graph, error) {
 		for i, v := range att {
 			mapped[i] = sMap[v]
 		}
-		expand(g.Start.Label(id), mapped)
+		if err := expand(g.Start.Label(id), mapped); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
-}
-
-// MustDerive is Derive with no limit, panicking on error.
-func (g *Grammar) MustDerive() *hypergraph.Graph {
-	out, err := g.Derive(0)
-	if err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // Inline derives nonterminal edge id of host graph h in place: the

@@ -1,0 +1,17 @@
+package grammar
+
+import (
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// mustDerive materializes val(g), failing the test on error.
+func mustDerive(tb testing.TB, g *Grammar) *hypergraph.Graph {
+	tb.Helper()
+	h, err := g.Derive(0)
+	if err != nil {
+		tb.Fatalf("Derive: %v", err)
+	}
+	return h
+}

@@ -32,7 +32,7 @@ func TestFigure1Derivation(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	got := g.MustDerive()
+	got := mustDerive(t, g)
 	// Fig. 1b: the terminal graph has three a- and three b-edges.
 	if got.NumNodes() != 7 || got.NumEdges() != 6 {
 		t.Fatalf("val(G): %d nodes %d edges, want 7/6", got.NumNodes(), got.NumEdges())
@@ -50,7 +50,7 @@ func TestFigure1Derivation(t *testing.T) {
 		t.Fatalf("a-edges=%d b-edges=%d, want 3/3", na, nb)
 	}
 	// Deterministic numbering: a second derivation is identical.
-	if !hypergraph.EqualHyper(got, g.MustDerive()) {
+	if !hypergraph.EqualHyper(got, mustDerive(t, g)) {
 		t.Fatal("val(G) not deterministic")
 	}
 	// The chain 1→…→7-ish must be one weak component.
@@ -62,7 +62,7 @@ func TestFigure1Derivation(t *testing.T) {
 func TestDerivedSizeMatchesDerive(t *testing.T) {
 	g := figure1Grammar()
 	nodes, edges := g.DerivedSize()
-	got := g.MustDerive()
+	got := mustDerive(t, g)
 	if nodes != int64(got.NumNodes()) || edges != int64(got.NumEdges()) {
 		t.Fatalf("DerivedSize = (%d,%d), actual (%d,%d)",
 			nodes, edges, got.NumNodes(), got.NumEdges())
@@ -105,7 +105,7 @@ func TestNestedDerivation(t *testing.T) {
 	if h := g.Height(); h != 2 {
 		t.Fatalf("height = %d, want 2", h)
 	}
-	got := g.MustDerive()
+	got := mustDerive(t, g)
 	// B derives 4 a-edges on a path of 5 nodes.
 	if got.NumNodes() != 5 || got.NumEdges() != 4 {
 		t.Fatalf("val: %d nodes %d edges", got.NumNodes(), got.NumEdges())
@@ -137,7 +137,7 @@ func TestValidateCatchesCycle(t *testing.T) {
 
 func TestInlinePreservesDerivation(t *testing.T) {
 	g := figure1Grammar()
-	want := g.MustDerive()
+	want := mustDerive(t, g)
 	// Inline the middle A-edge of the start graph.
 	var target hypergraph.EdgeID = -1
 	for _, id := range g.Start.Edges() {
@@ -149,7 +149,7 @@ func TestInlinePreservesDerivation(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	got := g.MustDerive()
+	got := mustDerive(t, g)
 	if !iso.Isomorphic(want, got) {
 		t.Fatal("inlining changed the derived graph")
 	}
@@ -181,7 +181,7 @@ func TestContributionPaperExample(t *testing.T) {
 	s.AddEdge(A, 4, 5)
 	g.Start = s
 	before := g.Size()
-	derived := g.MustDerive()
+	derived := mustDerive(t, g)
 	if got := before + g.Contribution(A, 4); got != derived.TotalSize() {
 		t.Fatalf("con mismatch: |G| + con = %d, |val(G)| = %d", got, derived.TotalSize())
 	}
@@ -201,14 +201,14 @@ func TestPruneRemovesSingleReference(t *testing.T) {
 	s.AddEdge(A, 1, 2)
 	g.Start = s
 
-	want := g.MustDerive()
+	want := mustDerive(t, g)
 	if n := g.Prune(); n != 1 {
 		t.Fatalf("pruned %d rules, want 1", n)
 	}
 	if g.NumRules() != 0 {
 		t.Fatal("rule list not compacted")
 	}
-	got := g.MustDerive()
+	got := mustDerive(t, g)
 	if !iso.Isomorphic(want, got) {
 		t.Fatal("pruning changed derived graph")
 	}
@@ -231,11 +231,11 @@ func TestPruneKeepsContributingRule(t *testing.T) {
 	s.AddEdge(A, 3, 4)
 	g.Start = s
 
-	want := g.MustDerive()
+	want := mustDerive(t, g)
 	if n := g.Prune(); n != 0 {
 		t.Fatalf("pruned %d rules, want 0", n)
 	}
-	if !iso.Isomorphic(want, g.MustDerive()) {
+	if !iso.Isomorphic(want, mustDerive(t, g)) {
 		t.Fatal("prune changed derivation")
 	}
 	_ = A
@@ -260,12 +260,12 @@ func TestPruneCascade(t *testing.T) {
 	s.AddEdge(B, 1, 2)
 	g.Start = s
 
-	want := g.MustDerive()
+	want := mustDerive(t, g)
 	g.Prune()
 	if g.NumRules() != 0 {
 		t.Fatalf("expected all rules pruned, %d left", g.NumRules())
 	}
-	if !iso.Isomorphic(want, g.MustDerive()) {
+	if !iso.Isomorphic(want, mustDerive(t, g)) {
 		t.Fatal("cascade prune changed derivation")
 	}
 }
@@ -351,7 +351,7 @@ func TestPrunePreservesDerivationProperty(t *testing.T) {
 		if err := g.Validate(); err != nil {
 			t.Fatalf("trial %d: grammar invalid after prune: %v", trial, err)
 		}
-		got := g.MustDerive()
+		got := mustDerive(t, g)
 		if want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() {
 			t.Fatalf("trial %d: prune changed sizes: (%d,%d) vs (%d,%d)",
 				trial, want.NumNodes(), want.NumEdges(), got.NumNodes(), got.NumEdges())

@@ -10,7 +10,7 @@ import (
 
 func TestChomskyNormalFormFigure1(t *testing.T) {
 	g := figure1Grammar()
-	want := g.MustDerive()
+	want := mustDerive(t, g)
 	g.ChomskyNormalForm()
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
@@ -18,7 +18,7 @@ func TestChomskyNormalFormFigure1(t *testing.T) {
 	if m := g.MaxRHSEdges(); m > 2 {
 		t.Fatalf("max rhs edges = %d after CNF", m)
 	}
-	if !iso.Isomorphic(want, g.MustDerive()) {
+	if !iso.Isomorphic(want, mustDerive(t, g)) {
 		t.Fatal("CNF changed the derived graph")
 	}
 }
@@ -34,7 +34,7 @@ func TestChomskyNormalFormStartOnly(t *testing.T) {
 	s.AddEdge(2, 1, 3)
 	s.AddEdge(1, 2, 4)
 	g := New(2, s)
-	want := g.MustDerive()
+	want := mustDerive(t, g)
 	g.ChomskyNormalForm()
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
@@ -42,7 +42,7 @@ func TestChomskyNormalFormStartOnly(t *testing.T) {
 	if g.Start.NumEdges() > 2 {
 		t.Fatalf("start graph has %d edges after CNF", g.Start.NumEdges())
 	}
-	got := g.MustDerive()
+	got := mustDerive(t, g)
 	// Start-graph nodes are real: node count must be preserved.
 	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
 		t.Fatalf("CNF sizes (%d,%d) vs (%d,%d)",
@@ -71,7 +71,7 @@ func TestChomskyNormalFormRandomProperty(t *testing.T) {
 		if m := g.MaxRHSEdges(); m > 2 {
 			t.Fatalf("trial %d: max rhs edges %d", trial, m)
 		}
-		got := g.MustDerive()
+		got := mustDerive(t, g)
 		if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
 			t.Fatalf("trial %d: sizes changed (%d,%d) vs (%d,%d)",
 				trial, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())

@@ -1,0 +1,61 @@
+package grammar
+
+import (
+	"math"
+	"testing"
+
+	"graphrepair/internal/hypergraph"
+)
+
+// doublingGrammar builds `levels` nested doubling rules (rule i
+// derives two copies of rule i-1 in series), the shape of a
+// decompression bomb: val(G) is a chain of 2^levels terminal edges.
+func doublingGrammar(levels int) *Grammar {
+	s := hypergraph.New(2)
+	g := New(1, s)
+	prev := hypergraph.Label(1)
+	for i := 0; i < levels; i++ {
+		rhs := hypergraph.New(3)
+		rhs.AddEdge(prev, 1, 3)
+		rhs.AddEdge(prev, 3, 2)
+		rhs.SetExt(1, 2)
+		prev = g.AddRule(rhs)
+	}
+	s.AddEdge(prev, 1, 2)
+	return g
+}
+
+// TestDerivedSizeOracleNested pins the analytic size computation on
+// deeply nested rules against the materialized derivation where that
+// is feasible (≤2^12 edges) and against the closed form 2^d beyond
+// it. The closed-form leg is what certifies the bomb gate: the
+// analytic count keeps growing exactly while materialization has long
+// become impossible.
+func TestDerivedSizeOracleNested(t *testing.T) {
+	for depth := 1; depth <= 12; depth++ {
+		g := doublingGrammar(depth)
+		nodes, edges := g.DerivedSize()
+		h := mustDerive(t, g)
+		if nodes != int64(h.NumNodes()) || edges != int64(h.NumEdges()) {
+			t.Fatalf("depth %d: analytic (%d, %d) != materialized (%d, %d)",
+				depth, nodes, edges, h.NumNodes(), h.NumEdges())
+		}
+	}
+	for _, depth := range []int{16, 31, 40, 60} {
+		g := doublingGrammar(depth)
+		nodes, edges := g.DerivedSize()
+		want := int64(1) << depth
+		if edges != want || nodes != want+1 {
+			t.Fatalf("depth %d: analytic (%d, %d), want (%d, %d)",
+				depth, nodes, edges, want+1, want)
+		}
+	}
+	// Past 2^63 the counts saturate instead of wrapping: a grammar too
+	// big for int64 still reads as "astronomically large", never as a
+	// small (or negative) size that would slip under a limit.
+	g := doublingGrammar(100)
+	nodes, edges := g.DerivedSize()
+	if nodes != math.MaxInt64 || edges != math.MaxInt64 {
+		t.Fatalf("depth 100: counts (%d, %d) did not saturate at MaxInt64", nodes, edges)
+	}
+}

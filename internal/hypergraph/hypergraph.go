@@ -19,6 +19,8 @@ import (
 	"iter"
 	"slices"
 	"sort"
+
+	"graphrepair/internal/faultinject"
 )
 
 // NodeID identifies a node. Valid IDs are 1-based; 0 means "no node".
@@ -188,6 +190,12 @@ func (g *Graph) AddEdge(label Label, att ...NodeID) EdgeID {
 				panic(fmt.Sprintf("hypergraph: AddEdge: node %d attached twice", v))
 			}
 		}
+	}
+	// The failpoint stands in for an arena-growth allocation failure:
+	// AddEdge has no error return, so the fault surfaces as a panic
+	// that the facade's recover backstop must convert to an error.
+	if faultinject.Enabled {
+		faultinject.HitPanic(faultinject.HypergraphGrow)
 	}
 	id := EdgeID(len(g.edges))
 	off := int32(len(g.att))

@@ -1,25 +1,32 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"graphrepair/internal/hypergraph"
 )
 
-// skeletons computes, bottom-up in ≤NT order, the skeleton of every
-// nonterminal: sk(A)[i][j] = true iff the j-th external node of val(A)
-// is reachable from the i-th (Thm. 6). We store the reachability
-// relation restricted to external nodes directly (at most rank² bits)
-// instead of the paper's SCC cycle gadget — same semantics, and linear
-// for bounded rank (see DESIGN.md §5).
-func (e *Engine) skeletons() map[hypergraph.Label][][]bool {
+// skeletonsContext computes, bottom-up in ≤NT order, the skeleton of
+// every nonterminal: sk(A)[i][j] = true iff the j-th external node of
+// val(A) is reachable from the i-th (Thm. 6). We store the
+// reachability relation restricted to external nodes directly (at
+// most rank² bits) instead of the paper's SCC cycle gadget — same
+// semantics, and linear for bounded rank (see DESIGN.md §5). The
+// result is memoized only on success, so a canceled build cannot
+// leave a partial map behind for the next query to trust.
+func (e *Engine) skeletonsContext(ctx context.Context) error {
 	if e.skel != nil {
-		return e.skel
+		return nil
 	}
-	e.skel = make(map[hypergraph.Label][][]bool, e.g.NumRules())
+	skel := make(map[hypergraph.Label][][]bool, e.g.NumRules())
+	tk := ticker{ctx: ctx}
 	for _, nt := range e.g.BottomUpOrder() {
+		if err := tk.check("query: reachability skeletons"); err != nil {
+			return err
+		}
 		rhs := e.g.Rule(nt)
-		adj := e.expandedAdjacency(rhs)
+		adj := e.expandedAdjacency(rhs, skel)
 		ext := rhs.Ext()
 		sk := make([][]bool, len(ext))
 		for i, src := range ext {
@@ -31,15 +38,17 @@ func (e *Engine) skeletons() map[hypergraph.Label][][]bool {
 				}
 			}
 		}
-		e.skel[nt] = sk
+		skel[nt] = sk
 	}
-	return e.skel
+	e.skel = skel
+	return nil
 }
 
 // expandedAdjacency builds the directed adjacency of a right-hand side
 // (or the start graph) with every nonterminal edge replaced by its
-// skeleton edges.
-func (e *Engine) expandedAdjacency(h *hypergraph.Graph) map[hypergraph.NodeID][]hypergraph.NodeID {
+// skeleton edges (from skel, which may still be under construction
+// during the bottom-up pass).
+func (e *Engine) expandedAdjacency(h *hypergraph.Graph, skel map[hypergraph.Label][][]bool) map[hypergraph.NodeID][]hypergraph.NodeID {
 	adj := make(map[hypergraph.NodeID][]hypergraph.NodeID, h.NumNodes())
 	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
@@ -48,7 +57,7 @@ func (e *Engine) expandedAdjacency(h *hypergraph.Graph) map[hypergraph.NodeID][]
 			adj[att[0]] = append(adj[att[0]], att[1])
 			continue
 		}
-		sk := e.skel[ed.Label]
+		sk := skel[ed.Label]
 		for i := range sk {
 			for j := range sk[i] {
 				if sk[i][j] {
@@ -186,6 +195,14 @@ func (px *pathExpansion) forEachEdge(yield func(instKey string, h *hypergraph.Gr
 // single BFS answers the query. This also covers the case where both
 // nodes lie in the same derivation subtree.
 func (e *Engine) Reachable(u, v int64) (bool, error) {
+	return e.ReachableContext(context.Background(), u, v)
+}
+
+// ReachableContext is Reachable with cooperative cancellation: ctx is
+// polled during the skeleton precomputation and at BFS frontier
+// expansions, so a per-query deadline bounds even adversarial
+// grammars whose path expansions are large.
+func (e *Engine) ReachableContext(ctx context.Context, u, v int64) (bool, error) {
 	if u == v {
 		return true, nil
 	}
@@ -197,7 +214,9 @@ func (e *Engine) Reachable(u, v int64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	e.skeletons()
+	if err := e.skeletonsContext(ctx); err != nil {
+		return false, err
+	}
 	px := e.expandPaths(&lu, &lv)
 
 	adj := map[nodeKey][]nodeKey{}
@@ -226,7 +245,11 @@ func (e *Engine) Reachable(u, v int64) (bool, error) {
 	dst := px.canonical(px.keyOf(&lv), lv.Node)
 	seen := map[nodeKey]bool{src: true}
 	queue := []nodeKey{src}
+	tk := ticker{ctx: ctx}
 	for len(queue) > 0 {
+		if err := tk.check("query: reachable"); err != nil {
+			return false, err
+		}
 		x := queue[0]
 		queue = queue[1:]
 		if x == dst {

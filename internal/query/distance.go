@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"graphrepair/internal/hypergraph"
 )
 
@@ -16,15 +18,21 @@ const Unreachable = int64(-1)
 
 const maxDist = int64(1) << 62
 
-// distSkeletons computes the min-plus skeletons bottom-up.
-func (e *Engine) distSkeletons() map[hypergraph.Label][][]int64 {
+// distSkeletonsContext computes the min-plus skeletons bottom-up,
+// polling ctx between rules. Memoized only on success (see
+// skeletonsContext).
+func (e *Engine) distSkeletonsContext(ctx context.Context) error {
 	if e.dskel != nil {
-		return e.dskel
+		return nil
 	}
-	e.dskel = make(map[hypergraph.Label][][]int64, e.g.NumRules())
+	dskel := make(map[hypergraph.Label][][]int64, e.g.NumRules())
+	tk := ticker{ctx: ctx}
 	for _, nt := range e.g.BottomUpOrder() {
+		if err := tk.check("query: distance skeletons"); err != nil {
+			return err
+		}
 		rhs := e.g.Rule(nt)
-		adj := e.expandedWeighted(rhs)
+		adj := e.expandedWeighted(rhs, dskel)
 		ext := rhs.Ext()
 		sk := make([][]int64, len(ext))
 		for i, src := range ext {
@@ -39,9 +47,10 @@ func (e *Engine) distSkeletons() map[hypergraph.Label][][]int64 {
 			}
 			sk[i] = row
 		}
-		e.dskel[nt] = sk
+		dskel[nt] = sk
 	}
-	return e.dskel
+	e.dskel = dskel
+	return nil
 }
 
 type wEdge struct {
@@ -51,8 +60,9 @@ type wEdge struct {
 
 // expandedWeighted builds the weighted adjacency of a right-hand side:
 // terminal edges have weight 1, nonterminal edges contribute their
-// min-plus skeleton entries.
-func (e *Engine) expandedWeighted(h *hypergraph.Graph) map[hypergraph.NodeID][]wEdge {
+// min-plus skeleton entries (from dskel, which may still be under
+// construction during the bottom-up pass).
+func (e *Engine) expandedWeighted(h *hypergraph.Graph, dskel map[hypergraph.Label][][]int64) map[hypergraph.NodeID][]wEdge {
 	adj := make(map[hypergraph.NodeID][]wEdge, h.NumNodes())
 	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
@@ -61,7 +71,7 @@ func (e *Engine) expandedWeighted(h *hypergraph.Graph) map[hypergraph.NodeID][]w
 			adj[att[0]] = append(adj[att[0]], wEdge{att[1], 1})
 			continue
 		}
-		sk := e.dskel[ed.Label]
+		sk := dskel[ed.Label]
 		for i := range sk {
 			for j, d := range sk[i] {
 				if i != j && d < maxDist {
@@ -106,6 +116,13 @@ func dijkstra(adj map[hypergraph.NodeID][]wEdge, src hypergraph.NodeID) map[hype
 // it works on the path-expanded graph with (min-plus) skeletons
 // summarizing unexpanded subtrees, in O(|G|·rank²) plus the expansion.
 func (e *Engine) Distance(u, v int64) (int64, error) {
+	return e.DistanceContext(context.Background(), u, v)
+}
+
+// DistanceContext is Distance with cooperative cancellation: ctx is
+// polled during the min-plus skeleton precomputation and at Dijkstra
+// frontier extractions.
+func (e *Engine) DistanceContext(ctx context.Context, u, v int64) (int64, error) {
 	if u == v {
 		return 0, nil
 	}
@@ -117,7 +134,9 @@ func (e *Engine) Distance(u, v int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	e.distSkeletons()
+	if err := e.distSkeletonsContext(ctx); err != nil {
+		return 0, err
+	}
 	px := e.expandPaths(&lu, &lv)
 
 	adj := map[nodeKey][]struct {
@@ -152,7 +171,11 @@ func (e *Engine) Distance(u, v int64) (int64, error) {
 	// Dijkstra over nodeKeys.
 	dist := map[nodeKey]int64{src: 0}
 	done := map[nodeKey]bool{}
+	tk := ticker{ctx: ctx}
 	for {
+		if err := tk.check("query: distance"); err != nil {
+			return 0, err
+		}
 		var u nodeKey
 		best := int64(-1)
 		for n, d := range dist {

@@ -50,7 +50,7 @@ func TestDistanceOnChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(t, res.Grammar)
 	rng := rand.New(rand.NewSource(1))
 	for q := 0; q < 200; q++ {
 		u := 1 + rng.Int63n(e.NumNodes())
@@ -79,7 +79,7 @@ func TestDistanceRandomGraphsProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		derived := res.Grammar.MustDerive()
+		derived := mustDerive(t, res.Grammar)
 		for q := 0; q < 150; q++ {
 			u := 1 + rng.Int63n(e.NumNodes())
 			v := 1 + rng.Int63n(e.NumNodes())

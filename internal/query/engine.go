@@ -16,6 +16,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -58,8 +59,16 @@ type ruleInfo struct {
 }
 
 // New builds a query engine. The grammar must be valid; it is shared,
-// not copied, and must not be mutated while the engine is in use.
+// not copied, and must not be mutated while the engine is in use. It
+// is NewContext with a background context.
 func New(g *grammar.Grammar) (*Engine, error) {
+	return NewContext(context.Background(), g)
+}
+
+// NewContext is New with cooperative cancellation: the bottom-up
+// precomputation polls ctx between rules, so building an engine over
+// an adversarial many-rule grammar respects a deadline.
+func NewContext(ctx context.Context, g *grammar.Grammar) (*Engine, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("query: %w", err)
 	}
@@ -69,7 +78,11 @@ func New(g *grammar.Grammar) (*Engine, error) {
 		rules:      make(map[hypergraph.Label]*ruleInfo, g.NumRules()),
 		m:          int64(g.Start.NumNodes()),
 	}
+	tk := ticker{ctx: ctx}
 	for _, nt := range g.Nonterminals() {
+		if err := tk.check("query: build engine"); err != nil {
+			return nil, err
+		}
 		rhs := g.Rule(nt)
 		ri := &ruleInfo{rhs: rhs, intIndex: make(map[hypergraph.NodeID]int64)}
 		for _, v := range rhs.Nodes() {

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"graphrepair/internal/core"
+	"graphrepair/internal/encoding"
+	"graphrepair/internal/govern"
+	"graphrepair/internal/hypergraph"
+)
+
+// fuzzQueryBudget bounds what the decoder may allocate per fuzz input;
+// adversarial-but-valid encodings below this line must still be served
+// (or cleanly rejected), never crash the engine.
+const fuzzQueryBudget = 64 << 20
+
+// FuzzQuery feeds arbitrary bytes through the decoder and, whenever
+// they happen to be a valid grammar, runs the full query surface —
+// engine construction, reachability, neighborhoods, distance, and a
+// regular path query — under a 100ms deadline. The property under
+// test is purely negative: the engine never panics and never hangs on
+// adversarial-but-valid grammars; query results themselves are free.
+func FuzzQuery(f *testing.F) {
+	chain := hypergraph.New(33)
+	for i := 1; i <= 32; i++ {
+		chain.AddEdge(1, hypergraph.NodeID(i), hypergraph.NodeID(i+1))
+	}
+	star := hypergraph.New(17)
+	for i := 2; i <= 17; i++ {
+		star.AddEdge(2, 1, hypergraph.NodeID(i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []*hypergraph.Graph{
+		chain,
+		star,
+		randomGraph(rng, 24, 60, 3),
+	} {
+		res, err := core.Compress(g, 3, core.DefaultOptions())
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf, _, err := encoding.Encode(res.Grammar)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		g, err := encoding.DecodeContext(ctx, data, govern.Limits{MaxAllocBytes: fuzzQueryBudget})
+		if err != nil {
+			t.Skip()
+		}
+		e, err := NewContext(ctx, g)
+		if err != nil {
+			t.Skip()
+		}
+		n := e.NumNodes()
+		if n < 1 {
+			t.Skip()
+		}
+		u, v := int64(1), n
+		if _, err := e.ReachableContext(ctx, u, v); err != nil && ctx.Err() == nil {
+			t.Fatalf("Reachable on valid grammar: %v", err)
+		}
+		if _, err := e.NeighborsContext(ctx, u, Both); err != nil && ctx.Err() == nil {
+			t.Fatalf("Neighbors on valid grammar: %v", err)
+		}
+		if _, err := e.DistanceContext(ctx, u, v); err != nil && ctx.Err() == nil {
+			t.Fatalf("Distance on valid grammar: %v", err)
+		}
+		rpq, err := e.NewRPQContext(ctx, StarNFA(1, 2))
+		if err == nil {
+			if _, err := rpq.MatchesContext(ctx, u, v); err != nil && ctx.Err() == nil {
+				t.Fatalf("RPQ on valid grammar: %v", err)
+			}
+		} else if ctx.Err() == nil {
+			t.Fatalf("NewRPQ on valid grammar: %v", err)
+		}
+	})
+}

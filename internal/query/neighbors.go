@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 
 	"graphrepair/internal/hypergraph"
@@ -21,6 +22,13 @@ const (
 // in the given direction, sorted ascending, computed directly on the
 // grammar (Prop. 4): O(log ℓ + n·h) for n neighbors.
 func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
+	return e.NeighborsContext(context.Background(), k, dir)
+}
+
+// NeighborsContext is Neighbors with cooperative cancellation: ctx is
+// polled as the derived neighborhood is walked, so a per-query
+// deadline bounds nodes of adversarially high degree.
+func (e *Engine) NeighborsContext(ctx context.Context, k int64, dir Direction) ([]int64, error) {
 	loc, err := e.Locate(k)
 	if err != nil {
 		return nil, err
@@ -30,7 +38,11 @@ func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
 	resolveHost := func(w hypergraph.NodeID) int64 { return e.resolveUp(&loc, level, w) }
 
 	var out []int64
+	tk := ticker{ctx: ctx}
 	for id := range h.IncidentSeq(loc.Node) {
+		if err := tk.check("query: neighbors"); err != nil {
+			return nil, err
+		}
 		if lab := h.Label(id); e.g.IsTerminal(lab) {
 			if u, ok := terminalNeighbor(h.Att(id), loc.Node, dir); ok {
 				out = append(out, resolveHost(u))
@@ -47,7 +59,9 @@ func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
 			parentLab := loc.Graphs[level-1].Label(loc.Path[level-1])
 			base = e.childBase(loc.Bases[level], parentLab, id)
 		}
-		e.collectDeep(h, id, base, p, dir, resolveHost, &out)
+		if err := e.collectDeep(h, id, base, p, dir, resolveHost, &out, &tk); err != nil {
+			return nil, err
+		}
 	}
 
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -93,7 +107,7 @@ func terminalNeighbor(att []hypergraph.NodeID, v hypergraph.NodeID, dir Directio
 // recursion visits each neighbor in O(h) as in Prop. 4.
 func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
 	base int64, p int, dir Direction, resolveHost func(hypergraph.NodeID) int64,
-	out *[]int64) {
+	out *[]int64, tk *ticker) error {
 	lab := host.Label(id)
 	ri := e.rules[lab]
 	rhs := ri.rhs
@@ -106,6 +120,9 @@ func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
 		return base + ri.intIndex[w] + 1
 	}
 	for eid := range rhs.IncidentSeq(x) {
+		if err := tk.check("query: neighbors"); err != nil {
+			return err
+		}
 		if lab := rhs.Label(eid); e.g.IsTerminal(lab) {
 			if u, ok := terminalNeighbor(rhs.Att(eid), x, dir); ok {
 				*out = append(*out, resolveHere(u))
@@ -113,6 +130,9 @@ func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
 			continue
 		}
 		pp := rhs.AttPos(eid, x)
-		e.collectDeep(rhs, eid, e.childBase(base, lab, eid), pp, dir, resolveHere, out)
+		if err := e.collectDeep(rhs, eid, e.childBase(base, lab, eid), pp, dir, resolveHere, out, tk); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -22,7 +22,7 @@ func buildEngine(t *testing.T, g *hypergraph.Graph, terms hypergraph.Label, opts
 	if err != nil {
 		t.Fatal(err)
 	}
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(t, res.Grammar)
 	if e.NumNodes() != int64(derived.NumNodes()) {
 		t.Fatalf("engine sees %d nodes, derived has %d", e.NumNodes(), derived.NumNodes())
 	}

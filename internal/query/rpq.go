@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"graphrepair/internal/hypergraph"
@@ -80,9 +81,21 @@ type RPQ struct {
 // NewRPQ prepares a regular path query evaluator in O(|G|·Q²) for Q
 // NFA states (bounded rank).
 func (e *Engine) NewRPQ(nfa *NFA) *RPQ {
+	r, _ := e.NewRPQContext(context.Background(), nfa)
+	return r
+}
+
+// NewRPQContext is NewRPQ with cooperative cancellation: the product
+// skeleton precomputation polls ctx between rules, bounding the
+// O(|G|·Q²) preparation under a deadline.
+func (e *Engine) NewRPQContext(ctx context.Context, nfa *NFA) (*RPQ, error) {
 	r := &RPQ{e: e, nfa: nfa, skel: make(map[hypergraph.Label][][]bool, e.g.NumRules())}
 	Q := nfa.States
+	tk := ticker{ctx: ctx}
 	for _, nt := range e.g.BottomUpOrder() {
+		if err := tk.check("query: rpq skeletons"); err != nil {
+			return nil, err
+		}
 		rhs := e.g.Rule(nt)
 		ext := rhs.Ext()
 		adj := r.productAdjacency(rhs)
@@ -103,7 +116,7 @@ func (e *Engine) NewRPQ(nfa *NFA) *RPQ {
 		}
 		r.skel[nt] = sk
 	}
-	return r
+	return r, nil
 }
 
 type prodNode struct {
@@ -167,6 +180,12 @@ func bfsProduct(adj map[prodNode][]prodNode, src prodNode) map[prodNode]bool {
 // skeletons standing in for unexpanded subtrees) and runs one BFS in
 // the product, O(|G|·Q²) overall.
 func (r *RPQ) Matches(u, v int64) (bool, error) {
+	return r.MatchesContext(context.Background(), u, v)
+}
+
+// MatchesContext is Matches with cooperative cancellation: ctx is
+// polled at product-BFS frontier expansions.
+func (r *RPQ) MatchesContext(ctx context.Context, u, v int64) (bool, error) {
 	lu, err := r.e.Locate(u)
 	if err != nil {
 		return false, err
@@ -218,7 +237,11 @@ func (r *RPQ) Matches(u, v int64) (bool, error) {
 	}
 	seen := map[pk]bool{src: true}
 	queue := []pk{src}
+	tk := ticker{ctx: ctx}
 	for len(queue) > 0 {
+		if err := tk.check("query: rpq match"); err != nil {
+			return false, err
+		}
 		x := queue[0]
 		queue = queue[1:]
 		if x.n == dstNode && r.nfa.Accept[x.q] {

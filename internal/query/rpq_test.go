@@ -60,7 +60,7 @@ func TestPathNFAOnChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	rpq := e.NewRPQ(PathNFA(1, 2))
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(t, res.Grammar)
 	for u := int64(1); u <= 5; u++ {
 		for v := int64(1); v <= 5; v++ {
 			got, err := rpq.Matches(u, v)
@@ -118,7 +118,7 @@ func TestRPQAgainstBruteForceProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		derived := res.Grammar.MustDerive()
+		derived := mustDerive(t, res.Grammar)
 
 		// A random small NFA.
 		nfa := NewNFA(2+rng.Intn(3), 0)
@@ -165,7 +165,7 @@ func TestRPQLabeledVersionGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	rpq := e.NewRPQ(PathNFA(1, 2))
-	derived := res.Grammar.MustDerive()
+	derived := mustDerive(t, res.Grammar)
 	matches := 0
 	for u := int64(1); u <= e.NumNodes(); u++ {
 		for v := int64(1); v <= e.NumNodes(); v++ {

@@ -1,0 +1,180 @@
+//go:build faultinject
+
+// Torture harness: run with `go test -tags faultinject`. For every
+// failpoint and every facade operation it sweeps the fault through
+// each successive hit site — arming the point to fire on the Nth hit
+// for N = 0, 1, 2, … until the operation completes without reaching
+// it — and asserts the fault always surfaces as a classified error
+// carrying the injected cause, never as a panic and never as silent
+// success. HitPanic-style points (hypergraph.grow, core.rule) panic
+// on purpose, proving the facade's recover backstop.
+package graphrepair_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"graphrepair"
+	"graphrepair/internal/faultinject"
+)
+
+var errInjected = errors.New("injected fault")
+
+// tortureOp is one facade operation under test. Its inputs are built
+// before any failpoint is armed, so construction cannot trip faults.
+type tortureOp struct {
+	name string
+	run  func() error
+	// fires lists the failpoints this operation is expected to reach
+	// at least once; sweeping any other point must be a clean no-op.
+	fires map[string]bool
+}
+
+func tortureOps(t *testing.T) []tortureOp {
+	t.Helper()
+	ctx := context.Background()
+
+	g := graphrepair.NewGraph(33)
+	for i := 1; i <= 32; i++ {
+		g.AddEdge(1, graphrepair.NodeID(i), graphrepair.NodeID(i+1))
+		if i%2 == 0 {
+			g.AddEdge(2, graphrepair.NodeID(i), graphrepair.NodeID(i/2))
+		}
+	}
+	res, err := graphrepair.Compress(g, 2, graphrepair.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := graphrepair.Encode(res.Grammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram, err := graphrepair.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return []tortureOp{
+		{
+			name: "compress",
+			run: func() error {
+				_, err := graphrepair.CompressContext(ctx, g, 2, graphrepair.DefaultOptions())
+				return err
+			},
+			fires: map[string]bool{
+				faultinject.CoreRule:       true,
+				faultinject.HypergraphGrow: true,
+			},
+		},
+		{
+			name: "decode",
+			run: func() error {
+				_, err := graphrepair.DecodeContext(ctx, buf, graphrepair.Limits{})
+				return err
+			},
+			fires: map[string]bool{
+				faultinject.BitioRead:      true,
+				faultinject.HypergraphGrow: true,
+			},
+		},
+		{
+			name: "decompress",
+			run: func() error {
+				_, err := graphrepair.DecompressContext(ctx, buf, graphrepair.Limits{})
+				return err
+			},
+			fires: map[string]bool{
+				faultinject.BitioRead:      true,
+				faultinject.HypergraphGrow: true,
+				faultinject.GrammarDerive:  true,
+			},
+		},
+		{
+			name: "engine",
+			run: func() error {
+				_, err := graphrepair.NewEngineContext(ctx, gram)
+				return err
+			},
+			fires: map[string]bool{},
+		},
+	}
+}
+
+// runArmed executes op.run converting any panic that escapes the
+// facade into a test failure: the whole point of the backstop is that
+// no injected fault, however placed, reaches the caller as a panic.
+func runArmed(t *testing.T, what string, run func() error) (err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: fault escaped the facade as a panic: %v", what, r)
+		}
+	}()
+	return run()
+}
+
+func TestTortureSweep(t *testing.T) {
+	const sweepCap = 1 << 20
+	for _, op := range tortureOps(t) {
+		for _, fp := range faultinject.Names {
+			t.Run(fmt.Sprintf("%s/%s", fp, op.name), func(t *testing.T) {
+				defer faultinject.Reset()
+				fired := 0
+				for after := 0; ; after++ {
+					if after > sweepCap {
+						t.Fatalf("sweep did not terminate after %d hits", sweepCap)
+					}
+					faultinject.Arm(fp, after, errInjected)
+					err := runArmed(t, fmt.Sprintf("%s at hit %d", fp, after), op.run)
+					if err == nil {
+						// The operation completed: the point was not
+						// reached an (after+1)-th time. Sweep done.
+						faultinject.Disarm(fp)
+						break
+					}
+					fired++
+					if !errors.Is(err, errInjected) {
+						t.Fatalf("hit %d: error lost the injected cause: %v", after, err)
+					}
+					isTaxonomy := errors.Is(err, graphrepair.ErrCorrupt) ||
+						errors.Is(err, graphrepair.ErrLimit) ||
+						errors.Is(err, graphrepair.ErrCanceled)
+					if !isTaxonomy && !errors.Is(err, errInjected) {
+						t.Fatalf("hit %d: error outside the taxonomy: %v", after, err)
+					}
+				}
+				if op.fires[fp] && fired == 0 {
+					t.Fatalf("failpoint %s never fired during %s", fp, op.name)
+				}
+				if !op.fires[fp] && fired > 0 {
+					t.Logf("note: %s unexpectedly reaches %s (%d hits)", op.name, fp, fired)
+				}
+			})
+		}
+	}
+}
+
+// TestTorturePanicConversion pins the backstop directly: a HitPanic
+// point armed to fire on the very first rule materialization makes
+// the compressor panic internally, and the caller still sees a plain
+// error wrapping the injected cause.
+func TestTorturePanicConversion(t *testing.T) {
+	defer faultinject.Reset()
+	g := graphrepair.NewGraph(17)
+	for i := 1; i <= 16; i++ {
+		g.AddEdge(1, graphrepair.NodeID(i), graphrepair.NodeID(i+1))
+	}
+	faultinject.Arm(faultinject.CoreRule, 0, errInjected)
+	_, err := graphrepair.CompressContext(context.Background(), g, 1, graphrepair.DefaultOptions())
+	if err == nil {
+		t.Fatal("injected rule fault produced no error")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("error lost the injected cause: %v", err)
+	}
+	if !errors.Is(err, graphrepair.ErrCorrupt) {
+		t.Fatalf("recovered panic not classified under ErrCorrupt: %v", err)
+	}
+}
