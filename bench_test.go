@@ -332,10 +332,11 @@ func BenchmarkReachability(b *testing.B) {
 		}
 	})
 	b.Run("decompressed", func(b *testing.B) {
+		var rs graphrepair.ReachScratch
 		for i := 0; i < b.N; i++ {
 			u := graphrepair.NodeID(1 + int64(i*131)%n)
 			v := graphrepair.NodeID(1 + int64(i*37+11)%n)
-			derived.Reachable(u, v)
+			derived.ReachableWith(&rs, u, v)
 		}
 	})
 }

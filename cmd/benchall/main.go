@@ -9,6 +9,7 @@
 //	benchall -scale 4         # closer to paper-scale datasets (slower)
 //	benchall -exp fig13 -copies 4096
 //	benchall -perf -json BENCH_1.json   # machine-readable perf point
+//	benchall -perf -perfscale 1 -workers 1,4   # full-scale parallel sweep
 //
 // Output is plain text, one table per experiment, with the paper's
 // qualitative findings attached as notes for comparison. With -perf
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,8 +39,15 @@ func main() {
 		perf      = flag.Bool("perf", false, "run the compressor perf suite instead of the paper experiments")
 		perfScale = flag.Int("perfscale", 64, "dataset size divisor for -perf (64 matches go test -bench BenchmarkCompress)")
 		jsonPath  = flag.String("json", "", "with -perf: also write the report as JSON to this path")
+		workersCS = flag.String("workers", "0", "with -perf: comma-separated compression worker counts to measure (e.g. 1,4)")
 	)
 	flag.Parse()
+
+	workers, err := parseWorkers(*workersCS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: -workers: %v\n", err)
+		os.Exit(2)
+	}
 
 	progress := func(string, ...any) {}
 	if *verbose {
@@ -48,7 +57,7 @@ func main() {
 	}
 
 	if *perf {
-		runPerf(*perfScale, *jsonPath, progress)
+		runPerf(*perfScale, workers, *jsonPath, progress)
 		return
 	}
 
@@ -86,22 +95,36 @@ func names() string {
 	return strings.Join(n, "|")
 }
 
+// parseWorkers parses the -workers list ("1,4") into worker counts.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
 // runPerf measures the compressor on the medium generator graphs,
 // prints a summary table, and optionally writes the machine-readable
 // report (the BENCH_<n>.json trajectory format).
-func runPerf(scale int, jsonPath string, progress func(string, ...any)) {
-	rep, err := bench.Perf(bench.PerfDatasets, scale, progress)
+func runPerf(scale int, workers []int, jsonPath string, progress func(string, ...any)) {
+	rep, err := bench.Perf(bench.PerfDatasets, scale, workers, progress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: perf: %v\n", err)
 		os.Exit(1)
 	}
 	t := &bench.Table{
 		Title:  fmt.Sprintf("Compressor perf (scale 1/%d, %s %s/%s)", scale, rep.GoVersion, rep.GOOS, rep.GOARCH),
-		Header: []string{"dataset", "nodes", "edges", "bytes", "bpe", "ratio", "ms/op", "KB/op", "allocs/op"},
+		Header: []string{"dataset", "workers", "nodes", "edges", "bytes", "bpe", "ratio", "ms/op", "KB/op", "allocs/op"},
 	}
 	for _, r := range rep.Results {
 		t.Rows = append(t.Rows, []string{
 			r.Dataset,
+			fmt.Sprint(r.Workers),
 			fmt.Sprint(r.Nodes),
 			fmt.Sprint(r.Edges),
 			fmt.Sprint(r.EncodedBytes),

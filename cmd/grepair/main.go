@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	grepair -c [-maxrank 4] [-order fp] [-o out.grpr] in.graph
+//	grepair -c [-maxrank 4] [-order fp] [-workers N] [-o out.grpr] in.graph
 //	grepair -d [-max-nodes N] [-max-edges N] [-o out.graph] in.grpr
 //	grepair -stats in.grpr
 //
@@ -44,6 +44,7 @@ type options struct {
 	seed       int64
 	noVirtual  bool
 	noPrune    bool
+	workers    int
 	timeout    time.Duration
 	maxNodes   int64
 	maxEdges   int64
@@ -60,6 +61,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 0, "seed for the random order")
 	flag.BoolVar(&o.noVirtual, "novirtual", false, "disable the virtual-edge stage")
 	flag.BoolVar(&o.noPrune, "noprune", false, "disable pruning")
+	flag.IntVar(&o.workers, "workers", 0, "parallel compression workers (0/1 = sequential; >1 shards the input, output differs from sequential but not across worker counts)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort after this duration (0 = none)")
 	flag.Int64Var(&o.maxNodes, "max-nodes", 0, "reject decompression beyond this many derived nodes (0 = unlimited)")
 	flag.Int64Var(&o.maxEdges, "max-edges", 0, "reject decompression beyond this many derived edges (0 = unlimited)")
@@ -84,15 +86,26 @@ func run(in string, o options) error {
 	}
 	lim := govern.Limits{MaxNodes: o.maxNodes, MaxEdges: o.maxEdges}
 
+	// The output file is created lazily, once the work has succeeded:
+	// a run that times out or hits a limit must not clobber an
+	// existing file or leave a fresh empty one behind.
 	output := os.Stdout
-	if o.out != "" {
+	openOutput := func() error {
+		if o.out == "" {
+			return nil
+		}
 		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		output = f
+		return nil
 	}
+	defer func() {
+		if output != os.Stdout {
+			output.Close()
+		}
+	}()
 
 	switch {
 	case o.compress:
@@ -118,6 +131,7 @@ func run(in string, o options) error {
 			Seed:              o.seed,
 			ConnectComponents: !o.noVirtual,
 			SkipPrune:         o.noPrune,
+			Workers:           o.workers,
 		}
 		res, err := core.CompressContext(ctx, g, labels, opts)
 		if err != nil {
@@ -125,6 +139,9 @@ func run(in string, o options) error {
 		}
 		buf, sz, err := encoding.Encode(res.Grammar)
 		if err != nil {
+			return err
+		}
+		if err := openOutput(); err != nil {
 			return err
 		}
 		if _, err := output.Write(buf); err != nil {
@@ -149,6 +166,9 @@ func run(in string, o options) error {
 		if err != nil {
 			return err
 		}
+		if err := openOutput(); err != nil {
+			return err
+		}
 		labels := g.Terminals
 		return graphio.Write(output, derived, labels)
 
@@ -159,6 +179,9 @@ func run(in string, o options) error {
 		}
 		g, err := encoding.DecodeContext(ctx, buf, lim)
 		if err != nil {
+			return err
+		}
+		if err := openOutput(); err != nil {
 			return err
 		}
 		nodes, edges := g.DerivedSize()

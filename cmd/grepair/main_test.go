@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"graphrepair"
+	"graphrepair/internal/gen"
 	"graphrepair/internal/govern"
 	"graphrepair/internal/graphio"
 	"graphrepair/internal/hypergraph"
@@ -165,5 +166,68 @@ func TestTimeoutCLI(t *testing.T) {
 	o := options{decompress: true, out: filepath.Join(dir, "out.graph"), timeout: time.Nanosecond}
 	if err := run(bomb, o); !errors.Is(err, govern.ErrCanceled) {
 		t.Fatalf("run with 1ns -timeout = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCompressTimeoutCLI pins that -timeout cancels the compress path
+// too, sequential and sharded alike: all workers stop, the run
+// surfaces govern.ErrCanceled, and no partial output file appears (the
+// output is created lazily, only after compression succeeded).
+func TestCompressTimeoutCLI(t *testing.T) {
+	dir := t.TempDir()
+	d, err := gen.Generate("dblp60-70", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "big.graph")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, d.Graph, d.Labels); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, workers := range []int{0, 4} {
+		out := filepath.Join(dir, "out.grpr")
+		o := compressOpts(out)
+		o.workers = workers
+		o.timeout = time.Millisecond
+		if err := run(in, o); !errors.Is(err, govern.ErrCanceled) {
+			t.Fatalf("workers=%d: compress with 1ms -timeout = %v, want ErrCanceled", workers, err)
+		}
+		if _, err := os.Stat(out); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("workers=%d: timed-out compress left an output file (stat err %v)", workers, err)
+		}
+	}
+}
+
+// TestWorkersCLI runs the sharded mode end to end through the CLI and
+// checks the grammar file decompresses back to the input shape.
+func TestWorkersCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+	grpr := filepath.Join(dir, "out.grpr")
+	o := compressOpts(grpr)
+	o.workers = 4
+	if err := run(in, o); err != nil {
+		t.Fatalf("compress -workers 4: %v", err)
+	}
+	outGraph := filepath.Join(dir, "out.graph")
+	if err := run(grpr, options{decompress: true, out: outGraph}); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	f, err := os.Open(outGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, labels, _, err := graphio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != 2 || g.NumNodes() != 13 || g.NumEdges() != 12 {
+		t.Fatalf("roundtrip graph: %d labels, %d nodes, %d edges", labels, g.NumNodes(), g.NumEdges())
 	}
 }

@@ -70,8 +70,9 @@ func main() {
 
 	start = time.Now()
 	mismatches, reachable := 0, 0
+	var rs graphrepair.ReachScratch
 	for i, p := range ps {
-		want := derived.Reachable(graphrepair.NodeID(p.u), graphrepair.NodeID(p.v))
+		want := derived.ReachableWith(&rs, graphrepair.NodeID(p.u), graphrepair.NodeID(p.v))
 		if want != onGrammar[i] {
 			mismatches++
 		}

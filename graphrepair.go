@@ -57,6 +57,9 @@ type (
 	Label = hypergraph.Label
 	// Triple is a directed labeled edge (source, target, label).
 	Triple = hypergraph.Triple
+	// ReachScratch is reusable BFS state for Graph.ReachableWith, for
+	// harnesses issuing many reachability probes on the same graph.
+	ReachScratch = hypergraph.ReachScratch
 )
 
 // Compression types, re-exported from the core and grammar packages.

@@ -370,8 +370,9 @@ func Queries(cfg Config) (*Table, error) {
 		gt := time.Since(start)
 		start = time.Now()
 		match := true
+		var rs hypergraph.ReachScratch
 		for i, p := range pairs {
-			want := derived.Reachable(hypergraph.NodeID(p[0]), hypergraph.NodeID(p[1]))
+			want := derived.ReachableWith(&rs, hypergraph.NodeID(p[0]), hypergraph.NodeID(p[1]))
 			if want != gres[i] {
 				match = false
 			}

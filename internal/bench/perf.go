@@ -25,6 +25,7 @@ const rawTripleBytes = 12
 type PerfResult struct {
 	Dataset      string  `json:"dataset"`
 	Scale        int     `json:"scale"`
+	Workers      int     `json:"workers"`
 	Nodes        int     `json:"nodes"`
 	Edges        int     `json:"edges"`
 	EncodedBytes int     `json:"encoded_bytes"`
@@ -54,12 +55,17 @@ type PerfReport struct {
 var PerfDatasets = []string{"ca-grqc", "rdf-types-ru", "dblp60-70"}
 
 // Perf measures gRePair end to end on the named datasets and returns
-// the report. Compression output metrics come from one verified run;
-// cost metrics come from testing.Benchmark so they are comparable to
-// `go test -bench BenchmarkCompress`.
-func Perf(datasets []string, scale int, progress func(format string, args ...any)) (*PerfReport, error) {
+// the report, one PerfResult per (dataset, worker count) pair.
+// Compression output metrics come from one verified run; cost metrics
+// come from testing.Benchmark so they are comparable to
+// `go test -bench BenchmarkCompress`. workers follows Options.Workers
+// (0/1 = sequential; >1 = sharded); nil means sequential only.
+func Perf(datasets []string, scale int, workers []int, progress func(format string, args ...any)) (*PerfReport, error) {
 	if progress == nil {
 		progress = func(string, ...any) {}
+	}
+	if len(workers) == 0 {
+		workers = []int{0}
 	}
 	rep := &PerfReport{
 		Benchmark: "compress",
@@ -68,43 +74,47 @@ func Perf(datasets []string, scale int, progress func(format string, args ...any
 		GOARCH:    runtime.GOARCH,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
-	opts := core.DefaultOptions()
 	for _, name := range datasets {
 		d, err := gen.Generate(name, scale)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Compress(d.Graph, d.Labels, opts)
-		if err != nil {
-			return nil, fmt.Errorf("bench: perf %s: %w", name, err)
-		}
-		_, sz, err := encoding.Encode(res.Grammar)
-		if err != nil {
-			return nil, fmt.Errorf("bench: perf %s: encode: %w", name, err)
-		}
 		edges := d.Graph.NumEdges()
-		progress("perf %s: measuring (%d nodes, %d edges)", name, d.Graph.NumNodes(), edges)
-		br := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := core.Compress(d.Graph, d.Labels, opts); err != nil {
-					b.Fatal(err)
-				}
+		for _, w := range workers {
+			opts := core.DefaultOptions()
+			opts.Workers = w
+			res, err := core.Compress(d.Graph, d.Labels, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: perf %s: %w", name, err)
 			}
-		})
-		rep.Results = append(rep.Results, PerfResult{
-			Dataset:      name,
-			Scale:        scale,
-			Nodes:        d.Graph.NumNodes(),
-			Edges:        edges,
-			EncodedBytes: sz.TotalBytes(),
-			BitsPerEdge:  BPE(sz.TotalBytes(), edges),
-			Ratio:        float64(sz.TotalBytes()) / float64(rawTripleBytes*edges),
-			NsPerOp:      br.NsPerOp(),
-			WallMsPerOp:  float64(br.NsPerOp()) / 1e6,
-			BytesPerOp:   br.AllocedBytesPerOp(),
-			AllocsPerOp:  br.AllocsPerOp(),
-		})
+			_, sz, err := encoding.Encode(res.Grammar)
+			if err != nil {
+				return nil, fmt.Errorf("bench: perf %s: encode: %w", name, err)
+			}
+			progress("perf %s workers=%d: measuring (%d nodes, %d edges)", name, w, d.Graph.NumNodes(), edges)
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Compress(d.Graph, d.Labels, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.Results = append(rep.Results, PerfResult{
+				Dataset:      name,
+				Scale:        scale,
+				Workers:      w,
+				Nodes:        d.Graph.NumNodes(),
+				Edges:        edges,
+				EncodedBytes: sz.TotalBytes(),
+				BitsPerEdge:  BPE(sz.TotalBytes(), edges),
+				Ratio:        float64(sz.TotalBytes()) / float64(rawTripleBytes*edges),
+				NsPerOp:      br.NsPerOp(),
+				WallMsPerOp:  float64(br.NsPerOp()) / 1e6,
+				BytesPerOp:   br.AllocedBytesPerOp(),
+				AllocsPerOp:  br.AllocsPerOp(),
+			})
+		}
 	}
 	return rep, nil
 }

@@ -36,6 +36,19 @@ type Options struct {
 	// occurrence counting exactly once, as in a literal reading of the
 	// paper's algorithm (for ablation experiments).
 	SinglePass bool
+	// Workers selects the parallel sharded mode: with Workers > 1 the
+	// input is split into shards (by weak component, or by a balanced
+	// node partition when one giant component dominates), the shards
+	// are compressed concurrently on at most Workers goroutines with
+	// per-worker arenas, and the per-shard grammars are merged with
+	// disjoint nonterminal ranges before a final sequential stage runs
+	// over the merged start graph (DESIGN.md §12). 0 and 1 select the
+	// sequential legacy path, whose output is byte-identical to the
+	// golden grammars; Workers > 1 produces output that is
+	// derive-isomorphic and independent of the worker count, but not
+	// byte-identical to the sequential grammar (digram counts pool
+	// across shards in sequential mode).
+	Workers int
 }
 
 // DefaultOptions returns the paper's recommended configuration.
@@ -69,9 +82,36 @@ type Stats struct {
 type Result struct {
 	Grammar *grammar.Grammar
 	Stats   Stats
-	// StartNodeMap maps input node IDs that survived in the start
-	// graph to their IDs after compaction (1..|V_S|).
-	StartNodeMap map[hypergraph.NodeID]hypergraph.NodeID
+	// startRemap is the flat input→start-graph node mapping: indexed
+	// by input node ID, value is the ID after compaction (1..|V_S|),
+	// 0 for nodes consumed into rules. Flat because the map view it
+	// replaced was ~5% of the compressor's residual allocations and
+	// merging per-shard maps would multiply that by the worker count.
+	startRemap []hypergraph.NodeID
+	// nodeMap memoizes StartNodeMap's lazy map view.
+	nodeMap map[hypergraph.NodeID]hypergraph.NodeID
+}
+
+// StartRemap returns the flat input→start-graph node mapping: entry v
+// is input node v's ID after compaction (1..|V_S|), or 0 if the node
+// was consumed into a rule. Entry 0 is always 0.
+func (r *Result) StartRemap() []hypergraph.NodeID { return r.startRemap }
+
+// StartNodeMap returns the mapping of input node IDs that survived in
+// the start graph to their IDs after compaction (1..|V_S|), as a map.
+// The map is built lazily on first call and memoized; callers that can
+// index the flat StartRemap directly should prefer it.
+func (r *Result) StartNodeMap() map[hypergraph.NodeID]hypergraph.NodeID {
+	if r.nodeMap == nil {
+		m := make(map[hypergraph.NodeID]hypergraph.NodeID)
+		for v, now := range r.startRemap {
+			if now != 0 {
+				m[hypergraph.NodeID(v)] = now
+			}
+		}
+		r.nodeMap = m
+	}
+	return r.nodeMap
 }
 
 // virtualLabel is the reserved label of virtual connector edges; it
@@ -108,9 +148,21 @@ func CompressContext(ctx context.Context, g *hypergraph.Graph, terminals hypergr
 		}
 	}
 
+	if opts.Workers > 1 {
+		return compressSharded(ctx, g, terminals, opts)
+	}
+
 	c := newCompressor(g, terminals, opts)
 	c.ctx = ctx
+	return c.run()
+}
 
+// run executes the full pipeline on the compressor's graph: the main
+// replacement fixpoint, the virtual-edge stage, pruning, compaction,
+// and validation. The sequential path calls it once; the sharded path
+// calls it per shard (with pruning deferred) and once more on the
+// merged start graph.
+func (c *compressor) run() (*Result, error) {
 	// Stage 1: the main replacement loop, iterated to a fixpoint.
 	// The greedy per-node pairing can leave admissible pairs uncounted
 	// (an edge joins at most one occurrence per digram per pass), so a
@@ -123,7 +175,7 @@ func CompressContext(ctx context.Context, g *hypergraph.Graph, terminals hypergr
 
 	// Stage 2: connect components with virtual edges and rerun
 	// (Sec. III-A, "additional step"), then strip the virtual edges.
-	if opts.ConnectComponents {
+	if c.opts.ConnectComponents {
 		// Only the smallest node per component is needed, so the flat
 		// WeakComponentsInto replaces the per-component slice shape.
 		if n := c.g.WeakComponentsInto(&c.comps); n > 1 {
@@ -143,14 +195,14 @@ func CompressContext(ctx context.Context, g *hypergraph.Graph, terminals hypergr
 		}
 	}
 
-	if !opts.SkipPrune {
+	if !c.opts.SkipPrune {
 		c.stats.RulesPruned = c.gram.Prune()
 	}
 	remap := c.g.Compact()
 	if err := c.gram.Validate(); err != nil {
 		return nil, fmt.Errorf("core: produced invalid grammar: %w", err)
 	}
-	return &Result{Grammar: c.gram, Stats: c.stats, StartNodeMap: remap}, nil
+	return &Result{Grammar: c.gram, Stats: c.stats, startRemap: remap}, nil
 }
 
 // describeEdge renders an edge's label and attachment for error
@@ -166,22 +218,35 @@ func describeEdge(label hypergraph.Label, att []hypergraph.NodeID) string {
 // newCompressor clones the input and allocates the stage state that is
 // reused (never reallocated) across all stages of the run.
 func newCompressor(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) *compressor {
+	return newCompressorOn(g.Clone(), grammar.New(terminals, nil), opts)
+}
+
+// newCompressorOn builds a compressor that takes ownership of g — a
+// compacted graph that becomes the grammar's start graph and is
+// consumed in place — and of gram, which may already carry rules (the
+// sharded path resumes compression on a merged start graph whose
+// nonterminal edges reference the merged rules).
+func newCompressorOn(g *hypergraph.Graph, gram *grammar.Grammar, opts Options) *compressor {
 	c := &compressor{
-		g:       g.Clone(),
-		gram:    grammar.New(terminals, nil),
+		g:       g,
+		gram:    gram,
 		opts:    opts,
 		refiner: order.NewRefiner(),
 		digrams: make(map[digramKey]int32),
-		ranks:   make(map[hypergraph.Label]int),
 	}
 	c.gram.Start = c.g
-	// Intern every input edge exactly. The clone is compacted, so edge
-	// IDs are dense and all edges alive (and rank 2, validated by
-	// Compress).
+	// Intern every rank-2 edge exactly; the duplicate veto only applies
+	// to rank-2 edges (adjacency-matrix encoding). On the sequential
+	// path every edge is rank 2 (validated by Compress); a merged start
+	// graph may also carry higher-rank nonterminal edges, which are
+	// left at noEntry like any hyperedge created later.
 	c.eset.init(c.g.NumEdges())
 	c.edgeIID = growNeg(c.edgeIID, int(c.g.MaxEdgeID()))
 	for id := range c.g.EdgesSeq() {
 		att := c.g.Att(id)
+		if len(att) != 2 {
+			continue
+		}
 		iid := c.eset.intern(c.g.Label(id), att[0], att[1])
 		c.eset.counts[iid]++
 		c.edgeIID[id] = iid
@@ -324,7 +389,6 @@ type compressor struct {
 	// created rule costs only its own exactly-reserved backing arrays.
 	ruleB ruleGraphBuilder
 
-	ranks map[hypergraph.Label]int // ranks of created nonterminals
 	stats Stats
 
 	// Reused scratch (DESIGN.md §5.6). co1/co2 serve tryCount;
@@ -568,7 +632,6 @@ func (c *compressor) replaceDigram(di int32) {
 				faultinject.HitPanic(faultinject.CoreRule)
 			}
 			nt = c.gram.AddRule(c.ruleB.build(c.g, co))
-			c.ranks[nt] = co.rank()
 			c.stats.Rounds++
 		}
 		// Rank-2 edges are encoded per label as adjacency matrices,

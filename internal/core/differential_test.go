@@ -63,8 +63,8 @@ func checkDifferential(t *testing.T, g *hypergraph.Graph, labels hypergraph.Labe
 	if res.Stats != refStats {
 		t.Errorf("stats: arena %+v, reference %+v", res.Stats, refStats)
 	}
-	if !maps.Equal(res.StartNodeMap, ref.StartNodeMap) {
-		t.Errorf("start-node maps differ: arena %d entries, reference %d", len(res.StartNodeMap), len(ref.StartNodeMap))
+	if !maps.Equal(res.StartNodeMap(), ref.StartNodeMap) {
+		t.Errorf("start-node maps differ: arena %d entries, reference %d", len(res.StartNodeMap()), len(ref.StartNodeMap))
 	}
 	bufA, _, err := encoding.Encode(res.Grammar)
 	if err != nil {

@@ -151,7 +151,11 @@ func localIndex(locals []hypergraph.NodeID, v hypergraph.NodeID) int {
 // buildOrientedInto computes the canonical form for the ordered pair
 // (a, b) into co, reusing co's scratch slices. Externality follows
 // Def. 3(3): a node of the occurrence is external iff it is incident
-// with an edge other than a and b.
+// with an edge other than a and b — or marked external on the graph
+// itself, which the partition-sharded path uses to protect boundary
+// nodes referenced by cut edges outside the shard (DESIGN.md §12;
+// sequential start graphs have no external nodes, so the extra check
+// never fires there).
 func buildOrientedInto(g *hypergraph.Graph, a, b hypergraph.EdgeID, co *canonOcc) {
 	attA, attB := g.Att(a), g.Att(b)
 	co.a, co.b = a, b
@@ -185,7 +189,7 @@ func buildOrientedInto(g *hypergraph.Graph, a, b hypergraph.EdgeID, co *canonOcc
 		if g.AttPos(b, v) >= 0 {
 			inPair++
 		}
-		if g.Degree(v) > inPair {
+		if g.Degree(v) > inPair || g.IsExternal(v) {
 			k.ext |= 1 << uint(i)
 			co.extLoc = append(co.extLoc, i)
 		}

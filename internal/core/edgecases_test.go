@@ -154,11 +154,14 @@ func TestStartNodeMapCoversStartGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := res.Grammar.Start
-	if len(res.StartNodeMap) != s.NumNodes() {
-		t.Fatalf("map covers %d nodes, start graph has %d", len(res.StartNodeMap), s.NumNodes())
+	if len(res.StartNodeMap()) != s.NumNodes() {
+		t.Fatalf("map covers %d nodes, start graph has %d", len(res.StartNodeMap()), s.NumNodes())
+	}
+	if got := len(res.StartRemap()); got != int(g.MaxNodeID())+1 {
+		t.Fatalf("flat remap has %d entries, want input table size %d", got, g.MaxNodeID()+1)
 	}
 	seen := map[hypergraph.NodeID]bool{}
-	for orig, now := range res.StartNodeMap {
+	for orig, now := range res.StartNodeMap() {
 		if !g.HasNode(orig) || !s.HasNode(now) || seen[now] {
 			t.Fatal("StartNodeMap inconsistent")
 		}

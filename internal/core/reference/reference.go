@@ -116,7 +116,14 @@ func Compress(g *hypergraph.Graph, terminals hypergraph.Label, opts Options) (*R
 	if !opts.SkipPrune {
 		c.stats.RulesPruned = c.gram.Prune()
 	}
-	remap := c.g.Compact()
+	// Compact returns the remap as a flat slice; the reference keeps
+	// its naive map shape by converting.
+	remap := map[hypergraph.NodeID]hypergraph.NodeID{}
+	for old, now := range c.g.Compact() {
+		if now != 0 {
+			remap[hypergraph.NodeID(old)] = now
+		}
+	}
 	if err := c.gram.Validate(); err != nil {
 		return nil, fmt.Errorf("reference: produced invalid grammar: %w", err)
 	}

@@ -102,8 +102,9 @@ func TestTicTacToeExactProperties(t *testing.T) {
 	// The state graph is a DAG rooted at the empty board: everything
 	// is reachable from it.
 	reach := 0
+	var rs hypergraph.ReachScratch
 	for v := hypergraph.NodeID(1); int(v) <= g.NumNodes(); v++ {
-		if g.Reachable(root, v) {
+		if g.ReachableWith(&rs, root, v) {
 			reach++
 		}
 	}

@@ -2,6 +2,7 @@ package grammar
 
 import (
 	"fmt"
+	"slices"
 
 	"graphrepair/internal/buf"
 	"graphrepair/internal/hypergraph"
@@ -24,6 +25,7 @@ type gramScratch struct {
 	cursor  []int32             // per rule: DFS edge cursor
 	stack   []int32             // DFS stack of rule indices
 	edgeBuf []hypergraph.EdgeID // l-edge snapshot per host
+	hosts   [][]int32           // per rule: host indices referencing it (-1 = start)
 
 	// Inline scratch.
 	att     []hypergraph.NodeID // attachment copy of the inlined edge
@@ -89,9 +91,23 @@ func (g *Grammar) Prune() int {
 	s := g.scr()
 	s.removed = buf.GrowClear(s.removed, nr)
 	s.ref = buf.GrowClear(s.ref, nr)
+	// hosts is the reverse reference index: for every rule, which hosts
+	// (start graph = -1, rule j = j) carry at least one edge with its
+	// label. inlineRule visits only those hosts instead of scanning the
+	// whole grammar — without the index each inline is O(|G|), which
+	// turns Prune quadratic on grammars with thousands of rules.
+	if cap(s.hosts) < nr {
+		s.hosts = append(s.hosts[:cap(s.hosts)], make([][]int32, nr-cap(s.hosts))...)
+	}
+	s.hosts = s.hosts[:nr]
+	for i := range s.hosts {
+		s.hosts[i] = s.hosts[i][:0]
+	}
 	g.countRefsInto(s.ref, g.Start)
-	for _, r := range g.rules {
+	g.indexHosts(s, -1, g.Start)
+	for j, r := range g.rules {
 		g.countRefsInto(s.ref, r)
+		g.indexHosts(s, int32(j), r)
 	}
 
 	removed := 0
@@ -143,17 +159,41 @@ func (g *Grammar) countRefsInto(ref []int32, h *hypergraph.Graph) {
 	}
 }
 
+// indexHosts records host (start = -1, rule j = j) in the host list of
+// every nonterminal h references. Consecutive duplicates are folded
+// here; non-consecutive ones (and out-of-order appends from later
+// incremental updates) are handled by the sort+dedupe in inlineRule.
+func (g *Grammar) indexHosts(s *gramScratch, host int32, h *hypergraph.Graph) {
+	for id := range h.EdgesSeq() {
+		if lab := h.Label(id); !g.IsTerminal(lab) {
+			i := g.ruleIndex(lab)
+			if n := len(s.hosts[i]); n == 0 || s.hosts[i][n-1] != host {
+				s.hosts[i] = append(s.hosts[i], host)
+			}
+		}
+	}
+}
+
 // inlineRule replaces every edge labeled with rule i's nonterminal in
 // the start graph and all live right-hand sides by rhs(i), updating
-// reference counts, and marks the rule removed.
+// reference counts, and marks the rule removed. Only the hosts the
+// reverse index lists are visited, in the same order a full scan would
+// use (start graph first, then rules ascending), so the output is
+// unchanged from the pre-index implementation.
 func (g *Grammar) inlineRule(i int) {
 	s := g.scratch
 	l := g.Terminals + 1 + hypergraph.Label(i)
 	rhs := g.rules[i]
-	g.inlineRuleIn(g.Start, l, rhs)
-	for j, r := range g.rules {
-		if j != i && !s.removed[j] {
-			g.inlineRuleIn(r, l, rhs)
+	hosts := s.hosts[i]
+	slices.Sort(hosts)
+	hosts = slices.Compact(hosts)
+	s.hosts[i] = hosts
+	for _, hj := range hosts {
+		switch {
+		case hj < 0:
+			g.inlineRuleIn(g.Start, -1, l, rhs)
+		case int(hj) != i && !s.removed[hj]:
+			g.inlineRuleIn(g.rules[hj], hj, l, rhs)
 		}
 	}
 	// References held by rhs(l) itself disappear with the rule.
@@ -169,7 +209,7 @@ func (g *Grammar) inlineRule(i int) {
 // inlineRuleIn inlines every l-edge of host h. The l-edges are
 // snapshotted up front: Inline mutates h, and no new l-edge can appear
 // because ≤NT is acyclic (rhs(l) cannot reference l).
-func (g *Grammar) inlineRuleIn(h *hypergraph.Graph, l hypergraph.Label, rhs *hypergraph.Graph) {
+func (g *Grammar) inlineRuleIn(h *hypergraph.Graph, host int32, l hypergraph.Label, rhs *hypergraph.Graph) {
 	s := g.scratch
 	snap := s.edgeBuf[:0]
 	for id := range h.EdgesSeq() {
@@ -181,10 +221,15 @@ func (g *Grammar) inlineRuleIn(h *hypergraph.Graph, l hypergraph.Label, rhs *hyp
 	for _, id := range snap {
 		g.Inline(h, id)
 		// The inlined copy adds one reference per nonterminal edge of
-		// rhs(l); the l-edge itself is gone.
+		// rhs(l) — and makes h a host of those rules; the l-edge itself
+		// is gone.
 		for rid := range rhs.EdgesSeq() {
 			if lab := rhs.Label(rid); !g.IsTerminal(lab) {
-				s.ref[g.ruleIndex(lab)]++
+				ri := g.ruleIndex(lab)
+				s.ref[ri]++
+				if n := len(s.hosts[ri]); n == 0 || s.hosts[ri][n-1] != host {
+					s.hosts[ri] = append(s.hosts[ri], host)
+				}
 			}
 		}
 	}

@@ -578,14 +578,16 @@ func (g *Graph) Clone() *Graph {
 
 // Compact renumbers alive nodes to 1..NumNodes (in ascending old-ID
 // order) and alive edges to 0..NumEdges-1, returning the node mapping
-// old → new. The graph is rebuilt in place, reusing every existing
-// pool: dense new IDs never exceed old IDs, so the edge table and the
-// attachment arena are compacted forward in one pass each, and the
-// incidence chains are re-carved into the truncated incidence arena as
-// per-node contiguous segments (the Clone layout). Beyond the returned
-// map, the rebuild allocates nothing (DESIGN.md §10).
-func (g *Graph) Compact() map[NodeID]NodeID {
-	remap := make(map[NodeID]NodeID, g.numNodes)
+// old → new as a flat slice indexed by old ID (entry 0 and dead nodes
+// map to 0, "no node"). The graph is rebuilt in place, reusing every
+// existing pool: dense new IDs never exceed old IDs, so the edge table
+// and the attachment arena are compacted forward in one pass each, and
+// the incidence chains are re-carved into the truncated incidence
+// arena as per-node contiguous segments (the Clone layout). Beyond the
+// returned remap slice — one allocation, where the pre-PR-7 map cost
+// one per bucket — the rebuild allocates nothing (DESIGN.md §10, §12).
+func (g *Graph) Compact() []NodeID {
+	remap := make([]NodeID, len(g.nodeAlive))
 	// extIndex doubles as the flat old→new node table during the
 	// rewrite; it is rebuilt from the remapped ext sequence at the end.
 	next := NodeID(1)
@@ -673,6 +675,17 @@ func (g *Graph) Compact() map[NodeID]NodeID {
 		}
 	}
 	return remap
+}
+
+// Relabel rewrites the label of every alive edge through f, in place.
+// Used by the sharded compressor to shift per-shard nonterminal labels
+// into their disjoint global ranges before merging (DESIGN.md §12).
+func (g *Graph) Relabel(f func(Label) Label) {
+	for id := range g.edges {
+		if g.edgeAlive[id] {
+			g.edges[id].Label = f(g.edges[id].Label)
+		}
+	}
 }
 
 // Labels returns the sorted set of labels of alive edges.

@@ -189,6 +189,51 @@ func TestReachable(t *testing.T) {
 	}
 }
 
+func TestReachableWithMatchesAndIsAllocFree(t *testing.T) {
+	g, _ := FromTriples(64, func() []Triple {
+		tr := make([]Triple, 0, 80)
+		for i := NodeID(1); i < 60; i++ {
+			tr = append(tr, Triple{Src: i, Dst: i + 1, Label: 1})
+		}
+		return tr
+	}())
+	var rs ReachScratch
+	for s := NodeID(1); s <= 64; s += 7 {
+		for d := NodeID(1); d <= 64; d += 5 {
+			if got, want := g.ReachableWith(&rs, s, d), g.Reachable(s, d); got != want {
+				t.Fatalf("ReachableWith(%d,%d) = %v, Reachable = %v", s, d, got, want)
+			}
+		}
+	}
+	// Warm scratch: zero allocations per probe (the pre-PR-7 Reachable
+	// allocated a visited table and a head-popped queue every call).
+	allocs := testing.AllocsPerRun(100, func() {
+		g.ReachableWith(&rs, 1, 60)
+		g.ReachableWith(&rs, 60, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ReachableWith allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := New(4)
+	g.AddEdge(1, 1, 2)
+	e := g.AddEdge(5, 2, 3)
+	g.AddEdge(9, 3, 4)
+	g.RemoveEdge(e)
+	g.Relabel(func(l Label) Label {
+		if l > 2 {
+			return l + 100
+		}
+		return l
+	})
+	tr := g.Triples()
+	if len(tr) != 2 || tr[0].Label != 1 || tr[1].Label != 109 {
+		t.Fatalf("triples after relabel = %v", tr)
+	}
+}
+
 func TestEqualSimple(t *testing.T) {
 	a, _ := FromTriples(3, []Triple{{1, 2, 1}, {2, 3, 2}})
 	b, _ := FromTriples(3, []Triple{{2, 3, 2}, {1, 2, 1}})

@@ -153,8 +153,8 @@ func TestNewReservedAllocs(t *testing.T) {
 // TestCompactArenaReuseAllocs pins the in-place Compact: the edge
 // table, attachment arena and incidence arena keep their backing
 // arrays (forward compaction, no New/AddEdge rebuild), incidence
-// chains come out in insertion order, and the only allocations are
-// the returned remap map.
+// chains come out in insertion order, and the only allocation is
+// the returned flat remap slice.
 func TestCompactArenaReuseAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := New(40)
@@ -221,11 +221,11 @@ func TestCompactArenaReuseAllocs(t *testing.T) {
 		}
 	}
 	// Steady state: compacting the already-compact graph allocates only
-	// the remap map.
+	// the flat remap slice (the pre-PR-7 map shape cost up to 6).
 	if n := testing.AllocsPerRun(50, func() {
 		g.Compact()
-	}); n > 6 {
-		t.Errorf("in-place Compact allocates %v/op, want <= 6 (the remap map)", n)
+	}); n > 1 {
+		t.Errorf("in-place Compact allocates %v/op, want <= 1 (the remap slice)", n)
 	}
 }
 

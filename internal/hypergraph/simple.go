@@ -264,30 +264,48 @@ func (g *Graph) WeakComponents() [][]NodeID {
 	return comps
 }
 
+// ReachScratch holds the reusable BFS state for ReachableWith. A
+// zero-value scratch is ready to use; the visited table and queue grow
+// to the graph size once and are reused across calls (Components-style).
+type ReachScratch struct {
+	visited []bool
+	queue   []NodeID
+}
+
 // Reachable reports whether dst is reachable from src following rank-2
 // edge directions (BFS on the uncompressed graph). Used as the ground
-// truth for grammar-based reachability.
+// truth for grammar-based reachability. Allocates fresh BFS state per
+// call; harnesses issuing thousands of probes should hold a
+// ReachScratch and call ReachableWith instead.
 func (g *Graph) Reachable(src, dst NodeID) bool {
+	var rs ReachScratch
+	return g.ReachableWith(&rs, src, dst)
+}
+
+// ReachableWith is Reachable with caller-owned scratch: zero
+// allocations once rs has warmed to the graph size. The queue is
+// consumed by an index cursor rather than re-slicing the head off, so
+// the backing array stays fully reusable.
+func (g *Graph) ReachableWith(rs *ReachScratch, src, dst NodeID) bool {
 	if !g.HasNode(src) || !g.HasNode(dst) {
 		return false
 	}
 	if src == dst {
 		return true
 	}
-	visited := make([]bool, len(g.nodeAlive))
-	queue := []NodeID{src}
-	visited[src] = true
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	rs.visited = buf.GrowClear(rs.visited, len(g.nodeAlive))
+	rs.queue = append(rs.queue[:0], src)
+	rs.visited[src] = true
+	for head := 0; head < len(rs.queue); head++ {
+		u := rs.queue[head]
 		for id := range g.IncidentSeq(u) {
 			e := &g.edges[id]
-			if e.rank == 2 && g.att[e.off] == u && !visited[g.att[e.off+1]] {
+			if e.rank == 2 && g.att[e.off] == u && !rs.visited[g.att[e.off+1]] {
 				if g.att[e.off+1] == dst {
 					return true
 				}
-				visited[g.att[e.off+1]] = true
-				queue = append(queue, g.att[e.off+1])
+				rs.visited[g.att[e.off+1]] = true
+				rs.queue = append(rs.queue, g.att[e.off+1])
 			}
 		}
 	}

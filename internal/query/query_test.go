@@ -143,6 +143,7 @@ func TestNeighborsDeepGrammar(t *testing.T) {
 
 func TestReachableAgainstDerived(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
+	var rs hypergraph.ReachScratch
 	for trial := 0; trial < 10; trial++ {
 		n := 15 + rng.Intn(60)
 		g := randomGraph(rng, n, 2*n, 1+rng.Intn(2))
@@ -154,7 +155,7 @@ func TestReachableAgainstDerived(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := derived.Reachable(hypergraph.NodeID(u), hypergraph.NodeID(v))
+			want := derived.ReachableWith(&rs, hypergraph.NodeID(u), hypergraph.NodeID(v))
 			if got != want {
 				t.Fatalf("trial %d: Reachable(%d,%d) = %v, want %v", trial, u, v, got, want)
 			}
@@ -171,6 +172,7 @@ func TestReachableWithinSameSubtree(t *testing.T) {
 	}
 	e, derived := buildEngine(t, g, 1, core.DefaultOptions())
 	rng := rand.New(rand.NewSource(7))
+	var rs hypergraph.ReachScratch
 	for q := 0; q < 300; q++ {
 		u := 1 + rng.Int63n(e.NumNodes())
 		v := 1 + rng.Int63n(e.NumNodes())
@@ -178,7 +180,7 @@ func TestReachableWithinSameSubtree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := derived.Reachable(hypergraph.NodeID(u), hypergraph.NodeID(v)); got != want {
+		if want := derived.ReachableWith(&rs, hypergraph.NodeID(u), hypergraph.NodeID(v)); got != want {
 			t.Fatalf("Reachable(%d,%d) = %v, want %v", u, v, got, want)
 		}
 	}
