@@ -10,6 +10,7 @@
 //	benchall -exp fig13 -copies 4096
 //	benchall -perf -json BENCH_1.json   # machine-readable perf point
 //	benchall -perf -perfscale 1 -workers 1,4   # full-scale parallel sweep
+//	benchall -perf -servegoroutines 1,4 # add shared-engine query serving rows
 //
 // Output is plain text, one table per experiment, with the paper's
 // qualitative findings attached as notes for comparison. With -perf
@@ -40,6 +41,7 @@ func main() {
 		perfScale = flag.Int("perfscale", 64, "dataset size divisor for -perf (64 matches go test -bench BenchmarkCompress)")
 		jsonPath  = flag.String("json", "", "with -perf: also write the report as JSON to this path")
 		workersCS = flag.String("workers", "0", "with -perf: comma-separated compression worker counts to measure (e.g. 1,4)")
+		serveCS   = flag.String("servegoroutines", "", "with -perf: also measure concurrent query serving at these goroutine counts (e.g. 1,4)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: -workers: %v\n", err)
 		os.Exit(2)
+	}
+	var serveGs []int
+	if *serveCS != "" {
+		if serveGs, err = parseWorkers(*serveCS); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: -servegoroutines: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	progress := func(string, ...any) {}
@@ -57,7 +66,7 @@ func main() {
 	}
 
 	if *perf {
-		runPerf(*perfScale, workers, *jsonPath, progress)
+		runPerf(*perfScale, workers, serveGs, *jsonPath, progress)
 		return
 	}
 
@@ -111,11 +120,18 @@ func parseWorkers(s string) ([]int, error) {
 // runPerf measures the compressor on the medium generator graphs,
 // prints a summary table, and optionally writes the machine-readable
 // report (the BENCH_<n>.json trajectory format).
-func runPerf(scale int, workers []int, jsonPath string, progress func(string, ...any)) {
+func runPerf(scale int, workers, serveGs []int, jsonPath string, progress func(string, ...any)) {
 	rep, err := bench.Perf(bench.PerfDatasets, scale, workers, progress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: perf: %v\n", err)
 		os.Exit(1)
+	}
+	if len(serveGs) > 0 {
+		rep.Serving, err = bench.ServePerf(bench.PerfDatasets, scale, serveGs, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: serve perf: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	t := &bench.Table{
 		Title:  fmt.Sprintf("Compressor perf (scale 1/%d, %s %s/%s)", scale, rep.GoVersion, rep.GOOS, rep.GOARCH),
@@ -136,6 +152,23 @@ func runPerf(scale int, workers []int, jsonPath string, progress func(string, ..
 		})
 	}
 	fmt.Println(t.Format())
+	if len(rep.Serving) > 0 {
+		st := &bench.Table{
+			Title:  fmt.Sprintf("Concurrent query serving (scale 1/%d, shared precomputed engine)", scale),
+			Header: []string{"dataset", "goroutines", "nodes", "edges", "ns/query", "queries/s"},
+		}
+		for _, r := range rep.Serving {
+			st.Rows = append(st.Rows, []string{
+				r.Dataset,
+				fmt.Sprint(r.Goroutines),
+				fmt.Sprint(r.Nodes),
+				fmt.Sprint(r.Edges),
+				fmt.Sprint(r.NsPerQuery),
+				fmt.Sprintf("%.0f", r.QueriesPerSec),
+			})
+		}
+		fmt.Println(st.Format())
+	}
 	if jsonPath != "" {
 		if err := bench.WritePerfJSON(rep, jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: perf: %v\n", err)

@@ -11,6 +11,12 @@
 //
 // -timeout bounds the whole run (decode, engine construction, and the
 // query itself); an expired deadline surfaces as a canceled error.
+//
+// Serve mode keeps the compiled engine resident and answers queries
+// over HTTP from any number of concurrent clients (see serve.go for
+// the protocol):
+//
+//	gquery -serve :8080 -reqtimeout 2s -precompute -cache 4096 file.grpr
 package main
 
 import (
@@ -27,18 +33,30 @@ import (
 
 func main() {
 	var (
-		q       = flag.String("q", "", "query: reach|out|in|components|degrees")
-		from    = flag.Int64("from", 0, "source node ID")
-		to      = flag.Int64("to", 0, "target node ID (reach)")
-		timeout = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+		q          = flag.String("q", "", "query: reach|out|in|components|degrees")
+		from       = flag.Int64("from", 0, "source node ID")
+		to         = flag.Int64("to", 0, "target node ID (reach)")
+		timeout    = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+		serve      = flag.String("serve", "", "serve queries over HTTP on this address (e.g. :8080)")
+		reqTimeout = flag.Duration("reqtimeout", 5*time.Second, "per-request deadline in -serve mode (0 = none)")
+		precompute = flag.Bool("precompute", true, "in -serve mode, build all memo layers before accepting traffic")
+		cacheSize  = flag.Int("cache", 0, "in -serve mode, LRU query-result cache entries (0 = off)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 || *q == "" {
+	if flag.NArg() != 1 || (*q == "" && *serve == "") {
 		fmt.Fprintln(os.Stderr, "usage: gquery -q <query> [-from N] [-to N] <file.grpr>")
+		fmt.Fprintln(os.Stderr, "       gquery -serve <addr> [-reqtimeout D] [-cache N] <file.grpr>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *q, *from, *to, *timeout); err != nil {
+	var err error
+	if *serve != "" {
+		err = runServe(flag.Arg(0), *serve, *reqTimeout,
+			query.EngineOptions{Precompute: *precompute, CacheSize: *cacheSize})
+	} else {
+		err = run(flag.Arg(0), *q, *from, *to, *timeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gquery:", err)
 		os.Exit(1)
 	}

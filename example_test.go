@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"graphrepair"
 )
@@ -72,6 +74,56 @@ func ExampleEngine_Distance() {
 	d, _ := eng.Distance(1, 6)
 	fmt.Println(d)
 	// Output: 5
+}
+
+// ExampleNewEngineContext shows the serving pattern: compile one
+// engine (eager memo layers, bounded result cache), share it across
+// any number of goroutines, and bound each query with its own
+// deadline via the *Context methods.
+func ExampleNewEngineContext() {
+	// A directed 9-cycle: every node reaches every other, whatever
+	// node numbering the compressed form derives.
+	g := graphrepair.NewGraph(9)
+	for i := graphrepair.NodeID(1); i <= 9; i++ {
+		g.AddEdge(1, i, i%9+1)
+	}
+	res, _ := graphrepair.Compress(g, 1, graphrepair.DefaultOptions())
+
+	// Compile once: Precompute builds every skeleton layer up front so
+	// no request pays a first-touch pass; CacheSize bounds an LRU over
+	// repeated results.
+	eng, err := graphrepair.NewEngineContext(context.Background(), res.Grammar,
+		graphrepair.EngineOptions{Precompute: true, CacheSize: 128})
+	if err != nil {
+		panic(err)
+	}
+
+	// Serve concurrently: the engine is immutable, so goroutines share
+	// it without locks; each request carries its own timeout.
+	var wg sync.WaitGroup
+	reachable := make([]bool, 8)
+	for i := range reachable {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			ok, err := eng.ReachableContext(ctx, int64(i+1), 9)
+			if err == nil {
+				reachable[i] = ok
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	n := 0
+	for _, ok := range reachable {
+		if ok {
+			n++
+		}
+	}
+	fmt.Println("nodes that reach node 9:", n)
+	// Output: nodes that reach node 9: 8
 }
 
 // ExampleFPClasses shows the paper's compressibility indicator.

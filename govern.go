@@ -91,7 +91,18 @@ func DecompressContext(ctx context.Context, buf []byte, lim Limits) (out *Graph,
 // per-query deadline to the engine's *Context query methods
 // (ReachableContext, NeighborsContext, DistanceContext,
 // NewRPQContext, MatchesContext) to bound individual queries.
-func NewEngineContext(ctx context.Context, g *Grammar) (e *Engine, err error) {
+//
+// The built engine is immutable and safe for unlimited concurrent
+// readers — compile once, share across goroutines. At most one
+// EngineOptions may be given: Precompute moves every memo layer
+// (skeletons, aggregates) into construction so no query pays a
+// first-touch bottom-up pass, and CacheSize bounds an LRU over
+// repeated Reachable/Distance/Neighbors results.
+func NewEngineContext(ctx context.Context, g *Grammar, opts ...EngineOptions) (e *Engine, err error) {
 	defer backstop("new engine", &err)
-	return query.NewContext(ctx, g)
+	var o EngineOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return query.NewWithOptions(ctx, g, o)
 }

@@ -76,6 +76,9 @@ type (
 	Sizes = encoding.Sizes
 	// Engine answers queries over a grammar without decompressing.
 	Engine = query.Engine
+	// EngineOptions tunes an Engine for its workload (eager memo
+	// layers, bounded query-result cache) — see NewEngineContext.
+	EngineOptions = query.EngineOptions
 	// Direction selects neighborhood query direction.
 	Direction = query.Direction
 	// NFA is an automaton over edge labels for regular path queries.
@@ -145,10 +148,11 @@ func Decompress(buf []byte) (*Graph, error) {
 }
 
 // NewEngine builds a query engine over a grammar; queries then run on
-// the compressed representation. For cancellation, see
+// the compressed representation. An optional EngineOptions tunes the
+// engine for serving workloads. For cancellation, see
 // NewEngineContext.
-func NewEngine(g *Grammar) (*Engine, error) {
-	return NewEngineContext(context.Background(), g)
+func NewEngine(g *Grammar, opts ...EngineOptions) (*Engine, error) {
+	return NewEngineContext(context.Background(), g, opts...)
 }
 
 // NewNFA returns an automaton with n states (none accepting) starting

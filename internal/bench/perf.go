@@ -47,6 +47,9 @@ type PerfReport struct {
 	GOARCH    string       `json:"goarch"`
 	Timestamp string       `json:"timestamp"`
 	Results   []PerfResult `json:"results"`
+	// Serving holds the concurrent shared-engine query measurements
+	// (ServePerf), when the run asked for them.
+	Serving []ServeResult `json:"serving,omitempty"`
 }
 
 // PerfDatasets is the default dataset set for the perf suite: the

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"graphrepair/internal/core"
+	"graphrepair/internal/gen"
+	"graphrepair/internal/query"
+)
+
+// ServeResult is one (dataset, goroutine count) measurement of the
+// grammar-resident serving path: N goroutines issuing a fixed mixed
+// query workload (reachability, neighborhoods, distances) against one
+// shared immutable engine. On a single-CPU runner the 1→N ratio
+// measures contention overhead rather than speedup; on multi-core it
+// measures read scalability of the compiled engine.
+type ServeResult struct {
+	Dataset       string  `json:"dataset"`
+	Scale         int     `json:"scale"`
+	Goroutines    int     `json:"goroutines"`
+	Nodes         int64   `json:"nodes"`
+	Edges         int64   `json:"edges"`
+	NsPerQuery    int64   `json:"ns_per_query"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// serveWorkload is one precomputed query of the serving mix.
+type serveWorkload struct {
+	op   int // 0 = reach, 1 = neighbors, 2 = distance
+	u, v int64
+}
+
+// ServePerf measures concurrent query serving on the named datasets:
+// each dataset is compressed once, compiled into one eagerly
+// precomputed engine, and then hammered by each goroutine count in
+// turn, all goroutines drawing from one shared atomic work counter so
+// exactly b.N queries run regardless of N. Results are comparable to
+// Perf's compression rows and ride along in the same PerfReport
+// (Serving field).
+func ServePerf(datasets []string, scale int, goroutines []int, progress func(format string, args ...any)) ([]ServeResult, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	if len(goroutines) == 0 {
+		goroutines = []int{1}
+	}
+	var out []ServeResult
+	for _, name := range datasets {
+		d, err := gen.Generate(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Compress(d.Graph, d.Labels, core.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve %s: %w", name, err)
+		}
+		eng, err := query.NewWithOptions(context.Background(), res.Grammar, query.EngineOptions{Precompute: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve %s: engine: %w", name, err)
+		}
+		// A deterministic mixed workload over the derived ID space.
+		rng := rand.New(rand.NewSource(1))
+		n := eng.NumNodes()
+		wl := make([]serveWorkload, 512)
+		for i := range wl {
+			wl[i] = serveWorkload{op: i % 3, u: 1 + rng.Int63n(n), v: 1 + rng.Int63n(n)}
+		}
+		for _, gN := range goroutines {
+			progress("serve %s goroutines=%d: measuring (%d derived nodes)", name, gN, n)
+			var benchErr error
+			var mu sync.Mutex
+			br := testing.Benchmark(func(b *testing.B) {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < gN; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := next.Add(1) - 1
+							if i >= int64(b.N) {
+								return
+							}
+							q := wl[i%int64(len(wl))]
+							var err error
+							switch q.op {
+							case 0:
+								_, err = eng.Reachable(q.u, q.v)
+							case 1:
+								_, err = eng.Neighbors(q.u, query.Both)
+							default:
+								_, err = eng.Distance(q.u, q.v)
+							}
+							if err != nil {
+								mu.Lock()
+								benchErr = err
+								mu.Unlock()
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+			if benchErr != nil {
+				return nil, fmt.Errorf("bench: serve %s: %w", name, benchErr)
+			}
+			ns := br.NsPerOp()
+			out = append(out, ServeResult{
+				Dataset:       name,
+				Scale:         scale,
+				Goroutines:    gN,
+				Nodes:         n,
+				Edges:         eng.NumEdges(),
+				NsPerQuery:    ns,
+				QueriesPerSec: 1e9 / float64(ns),
+			})
+		}
+	}
+	return out, nil
+}

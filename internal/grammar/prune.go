@@ -218,6 +218,21 @@ func (g *Grammar) inlineRuleIn(h *hypergraph.Graph, host int32, l hypergraph.Lab
 		}
 	}
 	s.edgeBuf = snap
+	// Pre-size the host once from the aggregate totals: every inlined
+	// copy adds the same internal-node/edge/attachment counts, so one
+	// reservation up front makes the per-call Reserve inside Inline a
+	// no-op (slices.Grow with sufficient capacity). Output bytes are
+	// unchanged — reservations never affect IDs or iteration order.
+	if n := len(snap); n > 0 {
+		if internal := rhs.NumNodes() - rhs.Rank(); internal > 0 {
+			h.ReserveNodes(n * internal)
+		}
+		attLen := 0
+		for rid := range rhs.EdgesSeq() {
+			attLen += rhs.Edge(rid).Rank()
+		}
+		h.Reserve(n*rhs.NumEdges(), n*attLen)
+	}
 	for _, id := range snap {
 		g.Inline(h, id)
 		// The inlined copy adds one reference per nonterminal edge of

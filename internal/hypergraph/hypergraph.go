@@ -349,6 +349,26 @@ func (g *Graph) IncidentSeq(v NodeID) iter.Seq[EdgeID] {
 	}
 }
 
+// IncidentSeqRO iterates the alive edges incident with v in insertion
+// order without mutating the graph: tombstoned chain slots are skipped
+// but never unlinked. This is the traversal for shared read-only
+// graphs — any number of goroutines may run IncidentSeqRO (and the
+// other pure readers) concurrently on a graph nobody mutates, whereas
+// IncidentSeq compacts the chain in passing and therefore writes. On a
+// graph whose chains were already scrubbed (one full IncidentSeq pass
+// after the last removal) the two traversals do identical work.
+func (g *Graph) IncidentSeqRO(v NodeID) iter.Seq[EdgeID] {
+	return func(yield func(EdgeID) bool) {
+		for cur := g.inc[v].head; cur != 0; {
+			s := &g.incPool[cur-1]
+			if g.edgeAlive[s.edge] && !yield(s.edge) {
+				return
+			}
+			cur = s.next
+		}
+	}
+}
+
 // AppendNeighbors appends the distinct nodes sharing an edge with v
 // (any rank, any direction, excluding v), ascending, to dst and
 // returns it — the allocation-free form of Neighbors for callers that

@@ -86,6 +86,49 @@ func TestIncidentSeqUnlinksDeadSlots(t *testing.T) {
 	}
 }
 
+// TestIncidentSeqROIsPure pins the read-only traversal contract: it
+// yields exactly what IncidentSeq would (alive edges, insertion
+// order) while leaving tombstoned slots linked — the chain headers
+// and links are bit-identical before and after, so concurrent readers
+// of an immutable graph never race (the query engine's shared-engine
+// serving depends on this).
+func TestIncidentSeqROIsPure(t *testing.T) {
+	g := New(2)
+	var ids []EdgeID
+	for i := 0; i < 6; i++ {
+		ids = append(ids, g.AddEdge(1, 1, 2))
+	}
+	g.RemoveEdge(ids[0]) // head
+	g.RemoveEdge(ids[3]) // middle
+	g.RemoveEdge(ids[5]) // tail
+	headBefore, tailBefore := g.inc[1].head, g.inc[1].tail
+	linksBefore := append([]incSlot(nil), g.incPool...)
+	for walk := 0; walk < 2; walk++ {
+		var got []EdgeID
+		for id := range g.IncidentSeqRO(1) {
+			got = append(got, id)
+		}
+		if len(got) != 3 || got[0] != ids[1] || got[1] != ids[2] || got[2] != ids[4] {
+			t.Fatalf("walk %d: IncidentSeqRO = %v, want [%d %d %d]", walk, got, ids[1], ids[2], ids[4])
+		}
+	}
+	if g.inc[1].head != headBefore || g.inc[1].tail != tailBefore {
+		t.Fatal("IncidentSeqRO moved the chain header")
+	}
+	for i, s := range g.incPool {
+		if s != linksBefore[i] {
+			t.Fatalf("IncidentSeqRO rewrote chain slot %d: %+v → %+v", i, linksBefore[i], s)
+		}
+	}
+	// Early termination leaves the chain untouched too.
+	for range g.IncidentSeqRO(1) {
+		break
+	}
+	if g.inc[1].head != headBefore {
+		t.Fatal("early-exit IncidentSeqRO moved the chain header")
+	}
+}
+
 // TestReservedAddEdgeArenaAllocs pins the tentpole property of the
 // incidence arena: with reserved edge, attachment and incidence
 // capacity, AddEdge performs no allocation at all — no per-node

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrepair/internal/core"
+)
+
+// TestNeighborsAllocationBudget pins the pooled-scratch steady state
+// of the hot query paths. After the pool is warm, a Neighbors call
+// allocates only its result copy plus the per-call resolver closures
+// (constant, independent of prior queries); Locate allocates only the
+// returned Location's three slices. This is the guard that keeps the
+// compile/query split from regressing to per-call maps and adjacency
+// rebuilds.
+func TestNeighborsAllocationBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomGraph(rng, 60, 180, 3)
+	e, _ := buildEngine(t, g, 3, core.DefaultOptions())
+	n := e.NumNodes()
+
+	// Warm the scratch pool and any one-time state.
+	for k := int64(1); k <= n; k++ {
+		if _, err := e.Neighbors(k, Both); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	k := int64(0)
+	if a := testing.AllocsPerRun(200, func() {
+		k = k%n + 1
+		if _, err := e.Neighbors(k, Both); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 8 {
+		t.Errorf("Neighbors allocates %v/op in steady state, want ≤ 8 (result copy + resolver closures)", a)
+	}
+
+	if a := testing.AllocsPerRun(200, func() {
+		k = k%n + 1
+		if _, err := e.Locate(k); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 4 {
+		t.Errorf("Locate allocates %v/op, want ≤ 4 (the returned Location's slices)", a)
+	}
+}
+
+// TestNeighborsCacheHitAllocs pins that a cache hit bypasses the
+// scratch machinery entirely: one allocation for the caller's copy of
+// the cached slice.
+func TestNeighborsCacheHitAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomGraph(rng, 60, 180, 3)
+	res, err := core.Compress(g, 3, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewWithOptions(t.Context(), res.Grammar, EngineOptions{CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Neighbors(1, Both); err != nil { // populate
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		if _, err := e.Neighbors(1, Both); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 1 {
+		t.Errorf("cached Neighbors allocates %v/op, want ≤ 1 (the returned copy)", a)
+	}
+	hits, misses, entries := e.cache.stats()
+	if hits == 0 || entries == 0 {
+		t.Errorf("cache stats = (hits=%d, misses=%d, entries=%d), want hits recorded", hits, misses, entries)
+	}
+}

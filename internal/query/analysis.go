@@ -7,48 +7,47 @@ import (
 	"graphrepair/internal/hypergraph"
 )
 
-// skeletonsContext computes, bottom-up in ≤NT order, the skeleton of
-// every nonterminal: sk(A)[i][j] = true iff the j-th external node of
-// val(A) is reachable from the i-th (Thm. 6). We store the
-// reachability relation restricted to external nodes directly (at
-// most rank² bits) instead of the paper's SCC cycle gadget — same
-// semantics, and linear for bounded rank (see DESIGN.md §5). The
-// result is memoized only on success, so a canceled build cannot
-// leave a partial map behind for the next query to trust.
-func (e *Engine) skeletonsContext(ctx context.Context) error {
-	if e.skel != nil {
-		return nil
-	}
-	skel := make(map[hypergraph.Label][][]bool, e.g.NumRules())
-	tk := ticker{ctx: ctx}
-	for _, nt := range e.g.BottomUpOrder() {
-		if err := tk.check("query: reachability skeletons"); err != nil {
-			return err
-		}
-		rhs := e.g.Rule(nt)
-		adj := e.expandedAdjacency(rhs, skel)
-		ext := rhs.Ext()
-		sk := make([][]bool, len(ext))
-		for i, src := range ext {
-			sk[i] = make([]bool, len(ext))
-			reach := bfs(adj, src)
-			for j, dst := range ext {
-				if i != j && reach[dst] {
-					sk[i][j] = true
+// skeletons returns the reachability skeletons, rule-indexed:
+// sk[ruleIdx(A)][i][j] = true iff the j-th external node of val(A) is
+// reachable from the i-th (Thm. 6). We store the reachability
+// relation restricted to external nodes directly (at most rank² bits)
+// instead of the paper's SCC cycle gadget — same semantics, and
+// linear for bounded rank (see DESIGN.md §5). The bottom-up pass runs
+// at most once per engine (behind a memo; eagerly under
+// EngineOptions.Precompute) and polls ctx between rules; a canceled
+// build is not memoized, so the next query retries.
+func (e *Engine) skeletons(ctx context.Context) ([][][]bool, error) {
+	return e.skel.get(func() ([][][]bool, error) {
+		skel := make([][][]bool, len(e.rules))
+		tk := ticker{ctx: ctx}
+		for _, nt := range e.bottomUp {
+			if err := tk.check("query: reachability skeletons"); err != nil {
+				return nil, err
+			}
+			rhs := e.rule(nt).rhs
+			adj := e.expandedAdjacency(rhs, skel)
+			ext := rhs.Ext()
+			sk := make([][]bool, len(ext))
+			for i, src := range ext {
+				sk[i] = make([]bool, len(ext))
+				reach := bfs(adj, src)
+				for j, dst := range ext {
+					if i != j && reach[dst] {
+						sk[i][j] = true
+					}
 				}
 			}
+			skel[e.ruleIdx(nt)] = sk
 		}
-		skel[nt] = sk
-	}
-	e.skel = skel
-	return nil
+		return skel, nil
+	})
 }
 
 // expandedAdjacency builds the directed adjacency of a right-hand side
 // (or the start graph) with every nonterminal edge replaced by its
 // skeleton edges (from skel, which may still be under construction
 // during the bottom-up pass).
-func (e *Engine) expandedAdjacency(h *hypergraph.Graph, skel map[hypergraph.Label][][]bool) map[hypergraph.NodeID][]hypergraph.NodeID {
+func (e *Engine) expandedAdjacency(h *hypergraph.Graph, skel [][][]bool) map[hypergraph.NodeID][]hypergraph.NodeID {
 	adj := make(map[hypergraph.NodeID][]hypergraph.NodeID, h.NumNodes())
 	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
@@ -57,7 +56,7 @@ func (e *Engine) expandedAdjacency(h *hypergraph.Graph, skel map[hypergraph.Labe
 			adj[att[0]] = append(adj[att[0]], att[1])
 			continue
 		}
-		sk := skel[ed.Label]
+		sk := skel[e.ruleIdx(ed.Label)]
 		for i := range sk {
 			for j := range sk[i] {
 				if sk[i][j] {
@@ -105,7 +104,8 @@ type instance struct {
 // pathExpansion glues the start graph and the right-hand-side
 // instances along one or two G-representation paths, sharing instances
 // along common prefixes. It backs both plain reachability (Thm. 6) and
-// regular path queries.
+// regular path queries. Its maps live in the pooled query scratch —
+// per-call state, never shared.
 type pathExpansion struct {
 	e         *Engine
 	instances map[string]instance
@@ -122,13 +122,13 @@ func prefKey(path []hypergraph.EdgeID, n int) string {
 	return string(b)
 }
 
-// expandPaths builds the shared instance set for the given locations.
-func (e *Engine) expandPaths(locs ...*Location) *pathExpansion {
-	px := &pathExpansion{
-		e:         e,
-		instances: map[string]instance{"": {key: "", graph: e.g.Start}},
-		onPath:    map[string]map[hypergraph.EdgeID]bool{},
-	}
+// expandPathsInto builds the shared instance set for the given
+// locations inside the scratch's pathExpansion (cleared on the
+// scratch's previous release).
+func (e *Engine) expandPathsInto(s *scratch, locs ...*Location) *pathExpansion {
+	px := &s.px
+	px.e = e
+	px.instances[""] = instance{key: "", graph: e.g.Start}
 	for _, l := range locs {
 		for n := 1; n <= len(l.Path); n++ {
 			k := prefKey(l.Path, n)
@@ -206,20 +206,27 @@ func (e *Engine) ReachableContext(ctx context.Context, u, v int64) (bool, error)
 	if u == v {
 		return true, nil
 	}
-	lu, err := e.Locate(u)
+	key := cacheKey{op: opReach, a: u, b: v}
+	if e.cache != nil {
+		if cv, ok := e.cache.get(key); ok {
+			return cv.ok, nil
+		}
+	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	if err := e.locateInto(&s.loc1, u); err != nil {
+		return false, err
+	}
+	if err := e.locateInto(&s.loc2, v); err != nil {
+		return false, err
+	}
+	skel, err := e.skeletons(ctx)
 	if err != nil {
 		return false, err
 	}
-	lv, err := e.Locate(v)
-	if err != nil {
-		return false, err
-	}
-	if err := e.skeletonsContext(ctx); err != nil {
-		return false, err
-	}
-	px := e.expandPaths(&lu, &lv)
+	px := e.expandPathsInto(s, &s.loc1, &s.loc2)
 
-	adj := map[nodeKey][]nodeKey{}
+	adj := s.adj
 	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
 		ed := h.Edge(id)
 		att := h.Att(id)
@@ -229,7 +236,7 @@ func (e *Engine) ReachableContext(ctx context.Context, u, v int64) (bool, error)
 			adj[a] = append(adj[a], b)
 			return
 		}
-		sk := e.skel[ed.Label]
+		sk := skel[e.ruleIdx(ed.Label)]
 		for i := range sk {
 			for j := range sk[i] {
 				if sk[i][j] {
@@ -241,36 +248,49 @@ func (e *Engine) ReachableContext(ctx context.Context, u, v int64) (bool, error)
 		}
 	})
 
-	src := px.canonical(px.keyOf(&lu), lu.Node)
-	dst := px.canonical(px.keyOf(&lv), lv.Node)
-	seen := map[nodeKey]bool{src: true}
-	queue := []nodeKey{src}
+	src := px.canonical(px.keyOf(&s.loc1), s.loc1.Node)
+	dst := px.canonical(px.keyOf(&s.loc2), s.loc2.Node)
+	seen := s.seen
+	seen[src] = true
+	s.queue = append(s.queue[:0], src)
 	tk := ticker{ctx: ctx}
-	for len(queue) > 0 {
+	found := false
+	for head := 0; head < len(s.queue); head++ {
 		if err := tk.check("query: reachable"); err != nil {
 			return false, err
 		}
-		x := queue[0]
-		queue = queue[1:]
+		x := s.queue[head]
 		if x == dst {
-			return true, nil
+			found = true
+			break
 		}
 		for _, y := range adj[x] {
 			if !seen[y] {
 				seen[y] = true
-				queue = append(queue, y)
+				s.queue = append(s.queue, y)
 			}
 		}
 	}
-	return false, nil
+	if e.cache != nil {
+		e.cache.put(key, cacheVal{ok: found})
+	}
+	return found, nil
 }
 
 // ComponentCount returns the number of weakly connected components of
 // val(G), computed in one bottom-up pass (a "compatible"/CMSO-style
 // speed-up query, Sec. V): every nonterminal contributes the partition
 // its derivation induces on its attachment nodes plus the count of
-// derived components that touch no external node.
+// derived components that touch no external node. The pass runs once
+// per engine; subsequent calls return the memoized count.
 func (e *Engine) ComponentCount() int64 {
+	c, _ := e.comp.get(func() (int64, error) {
+		return e.componentCount(), nil
+	})
+	return c
+}
+
+func (e *Engine) componentCount() int64 {
 	type info struct {
 		part     []int // partition: ext position → group id
 		enclosed int64 // components with no external node, incl. nested
@@ -323,7 +343,7 @@ func (e *Engine) ComponentCount() int64 {
 		return roots, nested
 	}
 
-	for _, nt := range e.g.BottomUpOrder() {
+	for _, nt := range e.bottomUp {
 		rhs := e.g.Rule(nt)
 		roots, nested := analyze(rhs, func(l hypergraph.Label) info { return infos[l] })
 		// Partition of ext positions; count root classes without ext.
@@ -368,11 +388,23 @@ func (e *Engine) ComponentCount() int64 {
 // DegreeStats returns the minimum and maximum degree over all nodes of
 // val(G) in the given direction, in one bottom-up pass (a CMSO-style
 // function query the paper lists as evaluable on the grammar). It
-// returns (0, 0) for a graph with no nodes.
+// returns (0, 0) for a graph with no nodes. Each direction's pass
+// runs once per engine; subsequent calls return the memoized pair.
 func (e *Engine) DegreeStats(dir Direction) (min, max int64, err error) {
 	if e.total == 0 {
 		return 0, 0, nil
 	}
+	mm, err := e.deg[dir].get(func() ([2]int64, error) {
+		return e.degreeStats(dir)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return mm[0], mm[1], nil
+}
+
+func (e *Engine) degreeStats(dir Direction) ([2]int64, error) {
+	var min, max int64
 	type info struct {
 		extDeg   []int64 // degree contribution per attachment position
 		min, max int64   // over derived internal nodes
@@ -419,7 +451,7 @@ func (e *Engine) DegreeStats(dir Direction) (min, max int64, err error) {
 		return deg, nmin, nmax, nested
 	}
 
-	for _, nt := range e.g.BottomUpOrder() {
+	for _, nt := range e.bottomUp {
 		rhs := e.g.Rule(nt)
 		deg, nmin, nmax, nested := contrib(rhs)
 		in := info{extDeg: make([]int64, rhs.Rank()), min: nmin, max: nmax, hasInt: nested}
@@ -463,7 +495,7 @@ func (e *Engine) DegreeStats(dir Direction) (min, max int64, err error) {
 		first = false
 	}
 	if first {
-		return 0, 0, fmt.Errorf("query: DegreeStats on empty graph")
+		return [2]int64{}, fmt.Errorf("query: DegreeStats on empty graph")
 	}
-	return min, max, nil
+	return [2]int64{min, max}, nil
 }

@@ -1,0 +1,145 @@
+package query
+
+import "sync"
+
+// cacheOp tags which query a cache entry answers; together with the
+// arguments it forms the key, so the one LRU serves every memoizable
+// operation without per-op maps.
+type cacheOp uint8
+
+const (
+	opReach cacheOp = iota + 1
+	opDist
+	opNeighbors
+)
+
+type cacheKey struct {
+	op   cacheOp
+	a, b int64
+	dir  Direction
+}
+
+// cacheVal is the union of the cacheable results: a bool for
+// reachability, an int64 for distance, an ID slice for neighborhoods.
+// Cached slices are owned by the cache and never handed out — lookups
+// copy (see Engine.NeighborsContext), so a caller mutating its result
+// cannot corrupt later answers.
+type cacheVal struct {
+	ok  bool
+	n   int64
+	ids []int64
+}
+
+// lru is a fixed-capacity query-result cache: a map over an
+// index-linked entry arena (no per-entry container/list allocations,
+// matching the repo's arena idiom). One mutex guards it — entries are
+// tiny and the critical section is a few pointer moves, so a sharded
+// design would buy nothing at the query sizes the engine serves;
+// the benchmark BenchmarkConcurrentQueries keeps this honest.
+type lru struct {
+	mu    sync.Mutex
+	idx   map[cacheKey]int32
+	slots []lruSlot
+	head  int32 // most recently used, -1 when empty
+	tail  int32 // least recently used, -1 when empty
+	free  int32 // next unused slot while warming up
+
+	hits, misses uint64
+}
+
+type lruSlot struct {
+	key        cacheKey
+	val        cacheVal
+	prev, next int32 // -1 terminated
+}
+
+// newLRU returns a cache bounded to max entries (max >= 1).
+func newLRU(max int) *lru {
+	return &lru{
+		idx:   make(map[cacheKey]int32, max),
+		slots: make([]lruSlot, max),
+		head:  -1,
+		tail:  -1,
+	}
+}
+
+// unlink detaches slot i from the recency list.
+func (c *lru) unlink(i int32) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+}
+
+// pushFront makes slot i the most recently used.
+func (c *lru) pushFront(i int32) {
+	s := &c.slots[i]
+	s.prev = -1
+	s.next = c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+// get returns the cached value for k, refreshing its recency.
+func (c *lru) get(k cacheKey) (cacheVal, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.idx[k]
+	if !ok {
+		c.misses++
+		return cacheVal{}, false
+	}
+	c.hits++
+	if c.head != i {
+		c.unlink(i)
+		c.pushFront(i)
+	}
+	return c.slots[i].val, true
+}
+
+// put inserts (or refreshes) k → v, evicting the least recently used
+// entry when full.
+func (c *lru) put(k cacheKey, v cacheVal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.idx[k]; ok {
+		c.slots[i].val = v
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
+		return
+	}
+	var i int32
+	switch {
+	case int(c.free) < len(c.slots):
+		i = c.free
+		c.free++
+	default:
+		i = c.tail
+		c.unlink(i)
+		delete(c.idx, c.slots[i].key)
+	}
+	c.slots[i] = lruSlot{key: k, val: v}
+	c.idx[k] = i
+	c.pushFront(i)
+}
+
+// stats returns the hit/miss counters and current entry count.
+func (c *lru) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.idx)
+}

@@ -18,39 +18,38 @@ const Unreachable = int64(-1)
 
 const maxDist = int64(1) << 62
 
-// distSkeletonsContext computes the min-plus skeletons bottom-up,
-// polling ctx between rules. Memoized only on success (see
-// skeletonsContext).
-func (e *Engine) distSkeletonsContext(ctx context.Context) error {
-	if e.dskel != nil {
-		return nil
-	}
-	dskel := make(map[hypergraph.Label][][]int64, e.g.NumRules())
-	tk := ticker{ctx: ctx}
-	for _, nt := range e.g.BottomUpOrder() {
-		if err := tk.check("query: distance skeletons"); err != nil {
-			return err
-		}
-		rhs := e.g.Rule(nt)
-		adj := e.expandedWeighted(rhs, dskel)
-		ext := rhs.Ext()
-		sk := make([][]int64, len(ext))
-		for i, src := range ext {
-			dist := dijkstra(adj, src)
-			row := make([]int64, len(ext))
-			for j, dst := range ext {
-				if d, ok := dist[dst]; ok {
-					row[j] = d
-				} else {
-					row[j] = maxDist
-				}
+// distSkeletons returns the min-plus skeletons, rule-indexed,
+// computing them bottom-up on first use (eagerly under
+// EngineOptions.Precompute). The pass polls ctx between rules and is
+// memoized only on success (see skeletons).
+func (e *Engine) distSkeletons(ctx context.Context) ([][][]int64, error) {
+	return e.dskel.get(func() ([][][]int64, error) {
+		dskel := make([][][]int64, len(e.rules))
+		tk := ticker{ctx: ctx}
+		for _, nt := range e.bottomUp {
+			if err := tk.check("query: distance skeletons"); err != nil {
+				return nil, err
 			}
-			sk[i] = row
+			rhs := e.rule(nt).rhs
+			adj := e.expandedWeighted(rhs, dskel)
+			ext := rhs.Ext()
+			sk := make([][]int64, len(ext))
+			for i, src := range ext {
+				dist := dijkstra(adj, src)
+				row := make([]int64, len(ext))
+				for j, dst := range ext {
+					if d, ok := dist[dst]; ok {
+						row[j] = d
+					} else {
+						row[j] = maxDist
+					}
+				}
+				sk[i] = row
+			}
+			dskel[e.ruleIdx(nt)] = sk
 		}
-		dskel[nt] = sk
-	}
-	e.dskel = dskel
-	return nil
+		return dskel, nil
+	})
 }
 
 type wEdge struct {
@@ -62,7 +61,7 @@ type wEdge struct {
 // terminal edges have weight 1, nonterminal edges contribute their
 // min-plus skeleton entries (from dskel, which may still be under
 // construction during the bottom-up pass).
-func (e *Engine) expandedWeighted(h *hypergraph.Graph, dskel map[hypergraph.Label][][]int64) map[hypergraph.NodeID][]wEdge {
+func (e *Engine) expandedWeighted(h *hypergraph.Graph, dskel [][][]int64) map[hypergraph.NodeID][]wEdge {
 	adj := make(map[hypergraph.NodeID][]wEdge, h.NumNodes())
 	for id := range h.EdgesSeq() {
 		ed := h.Edge(id)
@@ -71,7 +70,7 @@ func (e *Engine) expandedWeighted(h *hypergraph.Graph, dskel map[hypergraph.Labe
 			adj[att[0]] = append(adj[att[0]], wEdge{att[1], 1})
 			continue
 		}
-		sk := dskel[ed.Label]
+		sk := dskel[e.ruleIdx(ed.Label)]
 		for i := range sk {
 			for j, d := range sk[i] {
 				if i != j && d < maxDist {
@@ -126,28 +125,29 @@ func (e *Engine) DistanceContext(ctx context.Context, u, v int64) (int64, error)
 	if u == v {
 		return 0, nil
 	}
-	lu, err := e.Locate(u)
+	key := cacheKey{op: opDist, a: u, b: v}
+	if e.cache != nil {
+		if cv, ok := e.cache.get(key); ok {
+			return cv.n, nil
+		}
+	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	if err := e.locateInto(&s.loc1, u); err != nil {
+		return 0, err
+	}
+	if err := e.locateInto(&s.loc2, v); err != nil {
+		return 0, err
+	}
+	dskel, err := e.distSkeletons(ctx)
 	if err != nil {
 		return 0, err
 	}
-	lv, err := e.Locate(v)
-	if err != nil {
-		return 0, err
-	}
-	if err := e.distSkeletonsContext(ctx); err != nil {
-		return 0, err
-	}
-	px := e.expandPaths(&lu, &lv)
+	px := e.expandPathsInto(s, &s.loc1, &s.loc2)
 
-	adj := map[nodeKey][]struct {
-		to nodeKey
-		w  int64
-	}{}
+	adj := s.wadj
 	add := func(a, b nodeKey, w int64) {
-		adj[a] = append(adj[a], struct {
-			to nodeKey
-			w  int64
-		}{b, w})
+		adj[a] = append(adj[a], wnk{b, w})
 	}
 	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
 		ed := h.Edge(id)
@@ -156,7 +156,7 @@ func (e *Engine) DistanceContext(ctx context.Context, u, v int64) (int64, error)
 			add(px.canonical(instKey, att[0]), px.canonical(instKey, att[1]), 1)
 			return
 		}
-		sk := e.dskel[ed.Label]
+		sk := dskel[e.ruleIdx(ed.Label)]
 		for i := range sk {
 			for j, d := range sk[i] {
 				if i != j && d < maxDist {
@@ -166,12 +166,13 @@ func (e *Engine) DistanceContext(ctx context.Context, u, v int64) (int64, error)
 		}
 	})
 
-	src := px.canonical(px.keyOf(&lu), lu.Node)
-	dst := px.canonical(px.keyOf(&lv), lv.Node)
-	// Dijkstra over nodeKeys.
-	dist := map[nodeKey]int64{src: 0}
-	done := map[nodeKey]bool{}
+	src := px.canonical(px.keyOf(&s.loc1), s.loc1.Node)
+	dst := px.canonical(px.keyOf(&s.loc2), s.loc2.Node)
+	// Dijkstra over nodeKeys, frontier maps pooled in the scratch.
+	dist, done := s.dist, s.done
+	dist[src] = 0
 	tk := ticker{ctx: ctx}
+	result := Unreachable
 	for {
 		if err := tk.check("query: distance"); err != nil {
 			return 0, err
@@ -188,7 +189,8 @@ func (e *Engine) DistanceContext(ctx context.Context, u, v int64) (int64, error)
 			break
 		}
 		if u == dst {
-			return best, nil
+			result = best
+			break
 		}
 		done[u] = true
 		for _, e := range adj[u] {
@@ -198,14 +200,30 @@ func (e *Engine) DistanceContext(ctx context.Context, u, v int64) (int64, error)
 			}
 		}
 	}
-	return Unreachable, nil
+	if e.cache != nil {
+		e.cache.put(key, cacheVal{n: result})
+	}
+	return result, nil
 }
 
 // Diameter-style aggregate: LabelHistogram returns the number of
-// terminal edges of val(G) per label, in one bottom-up pass.
+// terminal edges of val(G) per label, in one bottom-up pass. The pass
+// runs once per engine (memoized); the returned map is a fresh copy
+// the caller may mutate.
 func (e *Engine) LabelHistogram() map[hypergraph.Label]int64 {
+	h, _ := e.hist.get(func() (map[hypergraph.Label]int64, error) {
+		return e.labelHistogram(), nil
+	})
+	out := make(map[hypergraph.Label]int64, len(h))
+	for l, c := range h {
+		out[l] = c
+	}
+	return out
+}
+
+func (e *Engine) labelHistogram() map[hypergraph.Label]int64 {
 	per := make(map[hypergraph.Label]map[hypergraph.Label]int64, e.g.NumRules())
-	for _, nt := range e.g.BottomUpOrder() {
+	for _, nt := range e.bottomUp {
 		h := make(map[hypergraph.Label]int64)
 		for id := range e.g.Rule(nt).EdgesSeq() {
 			lab := e.g.Rule(nt).Label(id)

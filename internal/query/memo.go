@@ -1,0 +1,51 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memo is one compile-phase layer of the engine: a value computed at
+// most once, published to unlimited concurrent readers. It is
+// sync.Once with two differences the serving story needs:
+//
+//   - A failed build (context canceled mid-way through the bottom-up
+//     pass) is NOT memoized. The building caller gets the error; the
+//     next caller retries with its own context. Deadline-poisoning an
+//     engine forever because its first query was impatient would make
+//     the shared-engine pattern unusable.
+//   - The fast path is a single atomic load, so once a layer is built
+//     the query path pays no lock, and the Go memory model guarantees
+//     readers that observe done==true also observe the fully built
+//     value (the Store is a release, the Load an acquire).
+//
+// Callers that lose the build race block on mu until the winner
+// finishes — they need the value anyway, and duplicate bottom-up
+// passes would waste more than the wait.
+type memo[T any] struct {
+	done atomic.Bool
+	mu   sync.Mutex
+	val  T
+}
+
+// get returns the memoized value, building it under the lock if this
+// is the first (or every prior build failed). build runs at most once
+// concurrently.
+func (m *memo[T]) get(build func() (T, error)) (T, error) {
+	if m.done.Load() {
+		return m.val, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done.Load() {
+		return m.val, nil
+	}
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	m.val = v
+	m.done.Store(true)
+	return v, nil
+}

@@ -2,7 +2,7 @@ package query
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"graphrepair/internal/hypergraph"
 )
@@ -28,18 +28,32 @@ func (e *Engine) Neighbors(k int64, dir Direction) ([]int64, error) {
 // NeighborsContext is Neighbors with cooperative cancellation: ctx is
 // polled as the derived neighborhood is walked, so a per-query
 // deadline bounds nodes of adversarially high degree.
+//
+// Incidence chains are walked with the read-only IncidentSeqRO — the
+// compile phase scrubbed every chain, so concurrent queries share the
+// graphs without a single write (DESIGN.md §13). All accumulation
+// happens in the pooled scratch; the returned slice is a fresh copy
+// the caller owns.
 func (e *Engine) NeighborsContext(ctx context.Context, k int64, dir Direction) ([]int64, error) {
-	loc, err := e.Locate(k)
-	if err != nil {
+	key := cacheKey{op: opNeighbors, a: k, dir: dir}
+	if e.cache != nil {
+		if cv, ok := e.cache.get(key); ok {
+			return slices.Clone(cv.ids), nil
+		}
+	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+	if err := e.locateInto(&s.loc1, k); err != nil {
 		return nil, err
 	}
+	loc := &s.loc1
 	level := len(loc.Graphs) - 1
 	h := loc.Graphs[level]
-	resolveHost := func(w hypergraph.NodeID) int64 { return e.resolveUp(&loc, level, w) }
+	resolveHost := func(w hypergraph.NodeID) int64 { return e.resolveUp(loc, level, w) }
 
-	var out []int64
+	out := s.out[:0]
 	tk := ticker{ctx: ctx}
-	for id := range h.IncidentSeq(loc.Node) {
+	for id := range h.IncidentSeqRO(loc.Node) {
 		if err := tk.check("query: neighbors"); err != nil {
 			return nil, err
 		}
@@ -63,15 +77,20 @@ func (e *Engine) NeighborsContext(ctx context.Context, k int64, dir Direction) (
 			return nil, err
 		}
 	}
+	s.out = out // persist buffer growth for the next pooled use
 
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	dedup := out[:0]
 	for i, v := range out {
 		if i == 0 || v != out[i-1] {
 			dedup = append(dedup, v)
 		}
 	}
-	return dedup, nil
+	res := slices.Clone(dedup)
+	if e.cache != nil {
+		e.cache.put(key, cacheVal{ids: slices.Clone(dedup)})
+	}
+	return res, nil
 }
 
 // terminalNeighbor returns the neighbor of v along a rank-2 terminal
@@ -109,7 +128,7 @@ func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
 	base int64, p int, dir Direction, resolveHost func(hypergraph.NodeID) int64,
 	out *[]int64, tk *ticker) error {
 	lab := host.Label(id)
-	ri := e.rules[lab]
+	ri := e.rule(lab)
 	rhs := ri.rhs
 	x := rhs.Ext()[p]
 	// Resolver for nodes of rhs in this instance's context.
@@ -119,11 +138,11 @@ func (e *Engine) collectDeep(host *hypergraph.Graph, id hypergraph.EdgeID,
 		}
 		return base + ri.intIndex[w] + 1
 	}
-	for eid := range rhs.IncidentSeq(x) {
+	for eid := range rhs.IncidentSeqRO(x) {
 		if err := tk.check("query: neighbors"); err != nil {
 			return err
 		}
-		if lab := rhs.Label(eid); e.g.IsTerminal(lab) {
+		if e.g.IsTerminal(rhs.Label(eid)) {
 			if u, ok := terminalNeighbor(rhs.Att(eid), x, dir); ok {
 				*out = append(*out, resolveHere(u))
 			}

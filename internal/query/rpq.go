@@ -71,11 +71,17 @@ func StarNFA(labels ...hypergraph.Label) *NFA {
 // This extends the paper's Thm.-6 skeletons to the product with an
 // NFA — the "regular path queries" extension named in the paper's
 // conclusion as future work.
+//
+// Like the Engine it is built from, a prepared RPQ is immutable: any
+// number of goroutines may call Matches on one shared RPQ (per-call
+// state lives in the engine's scratch pool). The automaton must not
+// be mutated after preparation.
 type RPQ struct {
 	e   *Engine
 	nfa *NFA
-	// skel[A][i*Q+q][j*Q+q'] — product reachability among externals.
-	skel map[hypergraph.Label][][]bool
+	// skel[ruleIdx(A)][i*Q+q][j*Q+q'] — product reachability among
+	// externals.
+	skel [][][]bool
 }
 
 // NewRPQ prepares a regular path query evaluator in O(|G|·Q²) for Q
@@ -89,14 +95,14 @@ func (e *Engine) NewRPQ(nfa *NFA) *RPQ {
 // skeleton precomputation polls ctx between rules, bounding the
 // O(|G|·Q²) preparation under a deadline.
 func (e *Engine) NewRPQContext(ctx context.Context, nfa *NFA) (*RPQ, error) {
-	r := &RPQ{e: e, nfa: nfa, skel: make(map[hypergraph.Label][][]bool, e.g.NumRules())}
+	r := &RPQ{e: e, nfa: nfa, skel: make([][][]bool, len(e.rules))}
 	Q := nfa.States
 	tk := ticker{ctx: ctx}
-	for _, nt := range e.g.BottomUpOrder() {
+	for _, nt := range e.bottomUp {
 		if err := tk.check("query: rpq skeletons"); err != nil {
 			return nil, err
 		}
-		rhs := e.g.Rule(nt)
+		rhs := e.rule(nt).rhs
 		ext := rhs.Ext()
 		adj := r.productAdjacency(rhs)
 		sk := make([][]bool, len(ext)*Q)
@@ -114,7 +120,7 @@ func (e *Engine) NewRPQContext(ctx context.Context, nfa *NFA) (*RPQ, error) {
 				sk[i*Q+q] = row
 			}
 		}
-		r.skel[nt] = sk
+		r.skel[e.ruleIdx(nt)] = sk
 	}
 	return r, nil
 }
@@ -142,7 +148,7 @@ func (r *RPQ) productAdjacency(h *hypergraph.Graph) map[prodNode][]prodNode {
 			}
 			continue
 		}
-		sk := r.skel[ed.Label]
+		sk := r.skel[r.e.ruleIdx(ed.Label)]
 		for iq := range sk {
 			i, q := iq/Q, iq%Q
 			for jp, ok := range sk[iq] {
@@ -184,28 +190,27 @@ func (r *RPQ) Matches(u, v int64) (bool, error) {
 }
 
 // MatchesContext is Matches with cooperative cancellation: ctx is
-// polled at product-BFS frontier expansions.
+// polled at product-BFS frontier expansions. Per-call state lives in
+// the engine's pooled scratch, so concurrent callers never share
+// mutable memory.
 func (r *RPQ) MatchesContext(ctx context.Context, u, v int64) (bool, error) {
-	lu, err := r.e.Locate(u)
-	if err != nil {
+	e := r.e
+	s := e.getScratch()
+	defer e.putScratch(s)
+	if err := e.locateInto(&s.loc1, u); err != nil {
 		return false, err
 	}
-	lv, err := r.e.Locate(v)
-	if err != nil {
+	if err := e.locateInto(&s.loc2, v); err != nil {
 		return false, err
 	}
-	px := r.e.expandPaths(&lu, &lv)
+	px := e.expandPathsInto(s, &s.loc1, &s.loc2)
 	Q := r.nfa.States
 
-	type pk struct {
-		n nodeKey
-		q int
-	}
-	adj := map[pk][]pk{}
+	adj := s.padj
 	px.forEachEdge(func(instKey string, h *hypergraph.Graph, id hypergraph.EdgeID) {
 		ed := h.Edge(id)
 		att := h.Att(id)
-		if r.e.g.IsTerminal(ed.Label) {
+		if e.g.IsTerminal(ed.Label) {
 			a := px.canonical(instKey, att[0])
 			b := px.canonical(instKey, att[1])
 			for q := 0; q < Q; q++ {
@@ -215,7 +220,7 @@ func (r *RPQ) MatchesContext(ctx context.Context, u, v int64) (bool, error) {
 			}
 			return
 		}
-		sk := r.skel[ed.Label]
+		sk := r.skel[e.ruleIdx(ed.Label)]
 		for iq := range sk {
 			i, q := iq/Q, iq%Q
 			for jp, ok := range sk[iq] {
@@ -230,27 +235,27 @@ func (r *RPQ) MatchesContext(ctx context.Context, u, v int64) (bool, error) {
 		}
 	})
 
-	src := pk{px.canonical(px.keyOf(&lu), lu.Node), r.nfa.Start}
-	dstNode := px.canonical(px.keyOf(&lv), lv.Node)
+	src := pk{px.canonical(px.keyOf(&s.loc1), s.loc1.Node), r.nfa.Start}
+	dstNode := px.canonical(px.keyOf(&s.loc2), s.loc2.Node)
 	if src.n == dstNode && r.nfa.Accept[r.nfa.Start] {
 		return true, nil // empty path
 	}
-	seen := map[pk]bool{src: true}
-	queue := []pk{src}
+	seen := s.pseen
+	seen[src] = true
+	s.pqueue = append(s.pqueue[:0], src)
 	tk := ticker{ctx: ctx}
-	for len(queue) > 0 {
+	for head := 0; head < len(s.pqueue); head++ {
 		if err := tk.check("query: rpq match"); err != nil {
 			return false, err
 		}
-		x := queue[0]
-		queue = queue[1:]
+		x := s.pqueue[head]
 		if x.n == dstNode && r.nfa.Accept[x.q] {
 			return true, nil
 		}
 		for _, y := range adj[x] {
 			if !seen[y] {
 				seen[y] = true
-				queue = append(queue, y)
+				s.pqueue = append(s.pqueue, y)
 			}
 		}
 	}
