@@ -11,12 +11,15 @@
 //
 // -timeout bounds the whole run (decode, engine construction, and the
 // query itself); an expired deadline surfaces as a canceled error.
+// -max-nodes/-max-edges reject bomb archives analytically before
+// materialization; sealed archives (grepair -seal) are verified
+// before decode.
 //
 // Serve mode keeps the compiled engine resident and answers queries
 // over HTTP from any number of concurrent clients (see serve.go for
 // the protocol):
 //
-//	gquery -serve :8080 -reqtimeout 2s -precompute -cache 4096 file.grpr
+//	gquery -serve :8080 -reqtimeout 2s -max-inflight 64 -cache 4096 file.grpr
 package main
 
 import (
@@ -29,32 +32,41 @@ import (
 	"graphrepair/internal/encoding"
 	"graphrepair/internal/govern"
 	"graphrepair/internal/query"
+	"graphrepair/internal/serve"
 )
 
 func main() {
 	var (
-		q          = flag.String("q", "", "query: reach|out|in|components|degrees")
-		from       = flag.Int64("from", 0, "source node ID")
-		to         = flag.Int64("to", 0, "target node ID (reach)")
-		timeout    = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
-		serve      = flag.String("serve", "", "serve queries over HTTP on this address (e.g. :8080)")
-		reqTimeout = flag.Duration("reqtimeout", 5*time.Second, "per-request deadline in -serve mode (0 = none)")
-		precompute = flag.Bool("precompute", true, "in -serve mode, build all memo layers before accepting traffic")
-		cacheSize  = flag.Int("cache", 0, "in -serve mode, LRU query-result cache entries (0 = off)")
+		q           = flag.String("q", "", "query: reach|out|in|components|degrees")
+		from        = flag.Int64("from", 0, "source node ID")
+		to          = flag.Int64("to", 0, "target node ID (reach)")
+		timeout     = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+		serveAddr   = flag.String("serve", "", "serve queries over HTTP on this address (e.g. :8080)")
+		reqTimeout  = flag.Duration("reqtimeout", 5*time.Second, "per-request deadline in -serve mode (0 = none)")
+		precompute  = flag.Bool("precompute", true, "in -serve mode, build all memo layers before accepting traffic")
+		cacheSize   = flag.Int("cache", 0, "in -serve mode, LRU query-result cache entries (0 = off)")
+		maxInflight = flag.Int("max-inflight", 0, "in -serve mode, max concurrently executing queries (0 = 4×GOMAXPROCS); excess is queued briefly then shed with 429")
+		maxNodes    = flag.Int64("max-nodes", 0, "reject archives deriving more than this many nodes (0 = unlimited)")
+		maxEdges    = flag.Int64("max-edges", 0, "reject archives deriving more than this many edges (0 = unlimited)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 || (*q == "" && *serve == "") {
+	if flag.NArg() != 1 || (*q == "" && *serveAddr == "") {
 		fmt.Fprintln(os.Stderr, "usage: gquery -q <query> [-from N] [-to N] <file.grpr>")
-		fmt.Fprintln(os.Stderr, "       gquery -serve <addr> [-reqtimeout D] [-cache N] <file.grpr>")
+		fmt.Fprintln(os.Stderr, "       gquery -serve <addr> [-reqtimeout D] [-max-inflight N] [-cache N] <file.grpr>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	lim := govern.Limits{MaxNodes: *maxNodes, MaxEdges: *maxEdges}
 	var err error
-	if *serve != "" {
-		err = runServe(flag.Arg(0), *serve, *reqTimeout,
-			query.EngineOptions{Precompute: *precompute, CacheSize: *cacheSize})
+	if *serveAddr != "" {
+		err = runServe(flag.Arg(0), *serveAddr, serve.Config{
+			ReqTimeout:  *reqTimeout,
+			MaxInflight: *maxInflight,
+			Limits:      lim,
+			Engine:      query.EngineOptions{Precompute: *precompute, CacheSize: *cacheSize},
+		})
 	} else {
-		err = run(flag.Arg(0), *q, *from, *to, *timeout)
+		err = run(flag.Arg(0), *q, *from, *to, *timeout, lim)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gquery:", err)
@@ -62,7 +74,7 @@ func main() {
 	}
 }
 
-func run(path, q string, from, to int64, timeout time.Duration) error {
+func run(path, q string, from, to int64, timeout time.Duration, lim govern.Limits) error {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -73,9 +85,20 @@ func run(path, q string, from, to int64, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	g, err := encoding.DecodeContext(ctx, buf, govern.Limits{})
+	if encoding.IsSealed(buf) {
+		if buf, err = encoding.Unseal(buf); err != nil {
+			return err
+		}
+	}
+	g, err := encoding.DecodeContext(ctx, buf, lim)
 	if err != nil {
 		return err
+	}
+	if lim.MaxNodes > 0 || lim.MaxEdges > 0 {
+		nodes, edges := g.DerivedSize()
+		if err := lim.CheckSize(nodes, edges); err != nil {
+			return err
+		}
 	}
 	eng, err := query.NewContext(ctx, g)
 	if err != nil {

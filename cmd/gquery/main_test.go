@@ -11,6 +11,7 @@ import (
 
 	"graphrepair/internal/core"
 	"graphrepair/internal/encoding"
+	"graphrepair/internal/grammar"
 	"graphrepair/internal/hypergraph"
 )
 
@@ -35,6 +36,33 @@ func compressedFile(t *testing.T) string {
 	return path
 }
 
+// writeBombArchive writes a ≤1KB grammar file deriving 2^levels edges
+// (each rule doubles the previous label's expansion).
+func writeBombArchive(t *testing.T, levels int) string {
+	t.Helper()
+	g := grammar.New(1, nil)
+	prev := hypergraph.Label(1)
+	for i := 0; i < levels; i++ {
+		rhs := hypergraph.New(3)
+		rhs.AddEdge(prev, 1, 3)
+		rhs.AddEdge(prev, 3, 2)
+		rhs.SetExt(1, 2)
+		prev = g.AddRule(rhs)
+	}
+	start := hypergraph.New(2)
+	start.AddEdge(prev, 1, 2)
+	g.Start = start
+	buf, _, err := encoding.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bomb.grpr")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func TestQueriesCLI(t *testing.T) {
 	path := compressedFile(t)
 	for _, tc := range []struct {
@@ -47,14 +75,14 @@ func TestQueriesCLI(t *testing.T) {
 		{"components", 0, 0},
 		{"degrees", 0, 0},
 	} {
-		if err := run(path, tc.q, tc.from, tc.to, 0); err != nil {
+		if err := run(path, tc.q, tc.from, tc.to, 0, govern.Limits{}); err != nil {
 			t.Fatalf("query %s: %v", tc.q, err)
 		}
 	}
-	if err := run(path, "bogus", 0, 0, 0); err == nil {
+	if err := run(path, "bogus", 0, 0, 0, govern.Limits{}); err == nil {
 		t.Fatal("bogus query accepted")
 	}
-	if err := run(path, "reach", 0, 99, 0); err == nil {
+	if err := run(path, "reach", 0, 99, 0, govern.Limits{}); err == nil {
 		t.Fatal("out-of-range node accepted")
 	}
 }
@@ -64,8 +92,21 @@ func TestCorruptFileCLI(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a grammar"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "components", 0, 0, 0); err == nil {
+	if err := run(path, "components", 0, 0, 0, govern.Limits{}); err == nil {
 		t.Fatal("corrupt file accepted")
+	}
+}
+
+// TestBombLimitsCLI pins the one-shot bomb defense: -max-nodes /
+// -max-edges reject a tiny archive deriving 2^31 edges analytically,
+// before the engine is built.
+func TestBombLimitsCLI(t *testing.T) {
+	bomb := writeBombArchive(t, 31)
+	if err := run(bomb, "components", 0, 0, 0, govern.Limits{MaxEdges: 1 << 20}); !errors.Is(err, govern.ErrLimit) {
+		t.Fatalf("bomb with -max-edges = %v, want ErrLimit", err)
+	}
+	if err := run(bomb, "components", 0, 0, 0, govern.Limits{MaxNodes: 1 << 20}); !errors.Is(err, govern.ErrLimit) {
+		t.Fatalf("bomb with -max-nodes = %v, want ErrLimit", err)
 	}
 }
 
@@ -73,10 +114,10 @@ func TestCorruptFileCLI(t *testing.T) {
 // path and surfaces as a canceled error.
 func TestTimeoutCLI(t *testing.T) {
 	path := compressedFile(t)
-	if err := run(path, "reach", 1, 9, time.Nanosecond); !errors.Is(err, govern.ErrCanceled) {
+	if err := run(path, "reach", 1, 9, time.Nanosecond, govern.Limits{}); !errors.Is(err, govern.ErrCanceled) {
 		t.Fatalf("run with 1ns -timeout = %v, want ErrCanceled", err)
 	}
-	if err := run(path, "reach", 1, 9, time.Minute); err != nil {
+	if err := run(path, "reach", 1, 9, time.Minute, govern.Limits{}); err != nil {
 		t.Fatalf("run with ample -timeout: %v", err)
 	}
 }

@@ -2,212 +2,55 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"syscall"
-	"time"
 
-	"graphrepair/internal/encoding"
-	"graphrepair/internal/govern"
-	"graphrepair/internal/query"
+	"graphrepair/internal/serve"
 )
 
-// Serve mode turns gquery into a long-lived query server: the grammar
-// is decoded and compiled into an immutable engine once, then any
-// number of concurrent HTTP requests query it (the engine is built
-// for shared use; see internal/query's serving architecture). The
-// protocol is one GET endpoint per concern:
+// Serve mode turns gquery into a long-lived hardened query server:
+// the grammar is verified (sealed archives), decoded under the
+// configured limits, and compiled into an immutable engine, then any
+// number of concurrent HTTP requests query it. All serving policy —
+// admission control and load shedding, per-request panic isolation,
+// taxonomy-mapped error statuses, atomic SIGHUP hot reload — lives in
+// internal/serve; this file only wires flags, signals and the
+// listener. The protocol is one GET endpoint per concern:
 //
 //	GET /query?q=reach&from=3&to=17   → {"query":"reach","ok":true,...}
 //	GET /query?q=out&from=3           → neighbor IDs
 //	GET /query?q=dist&from=3&to=17    → shortest-path length
 //	GET /healthz                      → liveness
-//	GET /stats                        → engine sizes + cache counters
+//	GET /readyz                       → engine loaded and compiled
+//	GET /stats                        → engine + serving counters
 //
-// Every request runs under the -reqtimeout deadline via the engine's
-// *Context methods; an expired deadline returns 503, a malformed
-// request 400. SIGINT/SIGTERM drain in-flight requests and exit.
+// Status codes follow the govern taxonomy: an expired deadline is
+// 503, a shed request or exceeded limit 429 (with Retry-After when
+// shed), a corrupt archive 500, bad input 400. SIGHUP reloads the
+// archive atomically; SIGINT/SIGTERM drain in-flight requests and
+// exit.
 
-// server holds the shared compiled engine behind the HTTP handlers.
-type server struct {
-	eng        *query.Engine
-	reqTimeout time.Duration
-}
-
-// queryResponse is the JSON shape of every /query answer; only the
-// fields the query kind produces are set.
-type queryResponse struct {
-	Query     string  `json:"query"`
-	From      int64   `json:"from,omitempty"`
-	To        int64   `json:"to,omitempty"`
-	Reachable *bool   `json:"reachable,omitempty"`
-	Distance  *int64  `json:"distance,omitempty"`
-	Neighbors []int64 `json:"neighbors,omitempty"`
-	Count     *int64  `json:"count,omitempty"`
-	MinDegree *int64  `json:"minDegree,omitempty"`
-	MaxDegree *int64  `json:"maxDegree,omitempty"`
-}
-
-// newHandler builds the serve-mode HTTP routes over one shared engine.
-func newHandler(eng *query.Engine, reqTimeout time.Duration) http.Handler {
-	s := &server{eng: eng, reqTimeout: reqTimeout}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.eng.EngineStats())
-	})
-	mux.HandleFunc("GET /query", s.handleQuery)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// param parses an int64 query parameter, distinguishing absent from
-// malformed.
-func param(r *http.Request, name string) (int64, bool, error) {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return 0, false, nil
-	}
-	n, err := strconv.ParseInt(v, 10, 64)
-	if err != nil {
-		return 0, false, fmt.Errorf("bad %s=%q", name, v)
-	}
-	return n, true, nil
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
-	if s.reqTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
-		defer cancel()
-	}
-	// Tiny queries may finish under the ticker stride without ever
-	// polling ctx, so enforce the deadline at least once per request.
-	if err := govern.Checkpoint(ctx, "gquery: serve"); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-
-	q := r.URL.Query().Get("q")
-	from, hasFrom, err := param(r, "from")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	to, hasTo, err := param(r, "to")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	need := func(ok bool, name string) bool {
-		if !ok {
-			http.Error(w, fmt.Sprintf("query %q needs %s=", q, name), http.StatusBadRequest)
-		}
-		return ok
-	}
-
-	resp := queryResponse{Query: q, From: from, To: to}
-	switch q {
-	case "reach":
-		if !need(hasFrom, "from") || !need(hasTo, "to") {
-			return
-		}
-		ok, qerr := s.eng.ReachableContext(ctx, from, to)
-		err = qerr
-		resp.Reachable = &ok
-	case "dist":
-		if !need(hasFrom, "from") || !need(hasTo, "to") {
-			return
-		}
-		d, qerr := s.eng.DistanceContext(ctx, from, to)
-		err = qerr
-		resp.Distance = &d
-	case "out", "in", "both":
-		if !need(hasFrom, "from") {
-			return
-		}
-		dir := map[string]query.Direction{"out": query.Out, "in": query.In, "both": query.Both}[q]
-		resp.Neighbors, err = s.eng.NeighborsContext(ctx, from, dir)
-	case "components":
-		c := s.eng.ComponentCount()
-		resp.Count = &c
-	case "degrees":
-		mn, mx, qerr := s.eng.DegreeStats(query.Both)
-		err = qerr
-		resp.MinDegree, resp.MaxDegree = &mn, &mx
-	default:
-		http.Error(w, fmt.Sprintf("unknown query %q", q), http.StatusBadRequest)
-		return
-	}
-	switch {
-	case errors.Is(err, govern.ErrCanceled):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	default:
-		writeJSON(w, resp)
-	}
-}
-
-// runServe decodes and compiles the grammar, then serves queries on
-// addr until SIGINT/SIGTERM.
-func runServe(path, addr string, reqTimeout time.Duration, opts query.EngineOptions) error {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	g, err := encoding.DecodeContext(context.Background(), buf, govern.Limits{})
-	if err != nil {
-		return err
-	}
-	eng, err := query.NewWithOptions(context.Background(), g, opts)
-	if err != nil {
-		return err
+// runServe loads the archive into a serve.Server and serves queries
+// on addr until SIGINT/SIGTERM, reloading on SIGHUP.
+func runServe(path, addr string, cfg serve.Config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := serve.New(path, cfg)
+	// The initial load is fatal (unlike later reloads, which keep the
+	// old engine): there is nothing to serve yet.
+	if err := srv.Reload(ctx); err != nil {
+		return fmt.Errorf("loading %s: %w", path, err)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	eng := srv.Engine()
 	fmt.Fprintf(os.Stderr, "gquery: serving %s on http://%s (nodes=%d edges=%d)\n",
 		path, ln.Addr(), eng.NumNodes(), eng.NumEdges())
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	return serveUntil(ctx, ln, eng, reqTimeout)
-}
-
-// serveUntil serves HTTP on ln until ctx is done, then drains
-// in-flight requests (bounded) and returns nil on a clean shutdown.
-// Split from runServe so tests can drive it on an ephemeral listener
-// with a plain cancelable context.
-func serveUntil(ctx context.Context, ln net.Listener, eng *query.Engine, reqTimeout time.Duration) error {
-	srv := &http.Server{Handler: newHandler(eng, reqTimeout)}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			return err
-		}
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
-		}
-		return nil
-	}
+	srv.WatchHUP(ctx)
+	return srv.Serve(ctx, ln)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -16,24 +17,21 @@ import (
 	"graphrepair/internal/encoding"
 	"graphrepair/internal/govern"
 	"graphrepair/internal/query"
+	"graphrepair/internal/serve"
 )
 
-// startServer compiles the grammar at path into an engine, serves it
-// on an ephemeral loopback port, and returns the base URL plus a
+// startServer loads the archive at path into a serve.Server, serves
+// it on an ephemeral loopback port, and returns the base URL plus a
 // shutdown function that triggers the graceful-drain path and reports
 // its error.
 func startServer(t *testing.T, path string, reqTimeout time.Duration, opts query.EngineOptions) (string, func() error) {
 	t.Helper()
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := encoding.DecodeContext(context.Background(), buf, govern.Limits{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := query.NewWithOptions(context.Background(), g, opts)
-	if err != nil {
+	srv := serve.New(path, serve.Config{
+		ReqTimeout: reqTimeout,
+		Engine:     opts,
+		Logf:       t.Logf,
+	})
+	if err := srv.Reload(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -42,7 +40,7 @@ func startServer(t *testing.T, path string, reqTimeout time.Duration, opts query
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveUntil(ctx, ln, eng, reqTimeout) }()
+	go func() { done <- srv.Serve(ctx, ln) }()
 	return "http://" + ln.Addr().String(), func() error {
 		cancel()
 		select {
@@ -69,8 +67,8 @@ func get(t *testing.T, url string) (int, string) {
 }
 
 // TestServeSmoke drives the server over a real TCP connection: health
-// check, every query kind, stats, bad-input rejection, and a clean
-// shutdown at the end.
+// and readiness checks, every query kind, stats, bad-input rejection,
+// and a clean shutdown at the end.
 func TestServeSmoke(t *testing.T) {
 	base, shutdown := startServer(t, compressedFile(t), time.Minute,
 		query.EngineOptions{Precompute: true, CacheSize: 16})
@@ -78,13 +76,16 @@ func TestServeSmoke(t *testing.T) {
 	if code, body := get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
+	if code, body := get(t, base+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
 
 	// The 9-node chain: 1 → … → 9.
 	code, body := get(t, base+"/query?q=reach&from=1&to=9")
 	if code != http.StatusOK {
 		t.Fatalf("reach = %d %q", code, body)
 	}
-	var r queryResponse
+	var r serve.Response
 	if err := json.Unmarshal([]byte(body), &r); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 
 	code, body = get(t, base+"/query?q=dist&from=1&to=9")
-	var d queryResponse
+	var d serve.Response
 	if err := json.Unmarshal([]byte(body), &d); err != nil {
 		t.Fatalf("dist = %d %q: %v", code, body, err)
 	}
@@ -105,7 +106,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 
 	code, body = get(t, base+"/query?q=out&from=1")
-	var nb queryResponse
+	var nb serve.Response
 	if err := json.Unmarshal([]byte(body), &nb); err != nil {
 		t.Fatalf("out = %d %q: %v", code, body, err)
 	}
@@ -141,9 +142,10 @@ func TestServeSmoke(t *testing.T) {
 }
 
 // TestServeDeadlineExceeded pins the per-request deadline path: with a
-// vanishing -reqtimeout every query answers 503, and the server stays
-// healthy for later well-funded requests (the engine's memo layers
-// are not poisoned by the canceled builds).
+// vanishing -reqtimeout every query answers 503 (canceled maps to
+// 503, not 400), and the server stays healthy for later well-funded
+// requests (the engine's memo layers are not poisoned by the canceled
+// builds).
 func TestServeDeadlineExceeded(t *testing.T) {
 	base, shutdown := startServer(t, compressedFile(t), time.Nanosecond, query.EngineOptions{})
 	if code, body := get(t, base+"/query?q=reach&from=1&to=9"); code != http.StatusServiceUnavailable {
@@ -208,5 +210,61 @@ func TestConcurrentServe(t *testing.T) {
 	wg.Wait()
 	if err := shutdown(); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeSealedArchive pins that serve mode loads a sealed archive
+// (container verified, then decoded) and refuses a corrupted one with
+// ErrCorrupt at startup.
+func TestServeSealedArchive(t *testing.T) {
+	plain := compressedFile(t)
+	buf, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := plain + ".sealed"
+	if err := os.WriteFile(sealed, encoding.Seal(buf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, shutdown := startServer(t, sealed, time.Minute, query.EngineOptions{})
+	if code, body := get(t, base+"/query?q=reach&from=1&to=9"); code != http.StatusOK {
+		t.Fatalf("reach over sealed archive = %d %q", code, body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Flip one payload byte: the initial load must fail corrupt.
+	rotted := append([]byte(nil), encoding.Seal(buf)...)
+	rotted[len(rotted)-1] ^= 0x40
+	bad := plain + ".rotted"
+	if err := os.WriteFile(bad, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(bad, serve.Config{Logf: t.Logf})
+	if err := srv.Reload(context.Background()); !errors.Is(err, govern.ErrCorrupt) {
+		t.Fatalf("loading bit-rotted sealed archive = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestServeBombRejected pins the startup bomb defense end to end
+// through runServe: a tiny archive deriving 2^31 edges is rejected
+// analytically with ErrLimit before the server ever listens.
+func TestServeBombRejected(t *testing.T) {
+	bomb := writeBombArchive(t, 31)
+	err := runServe(bomb, "127.0.0.1:0", serve.Config{
+		Limits: govern.Limits{MaxEdges: 1 << 20},
+		Logf:   t.Logf,
+	})
+	if !errors.Is(err, govern.ErrLimit) {
+		t.Fatalf("runServe on bomb with -max-edges = %v, want ErrLimit", err)
+	}
+	err = runServe(bomb, "127.0.0.1:0", serve.Config{
+		Limits: govern.Limits{MaxNodes: 1 << 20},
+		Logf:   t.Logf,
+	})
+	if !errors.Is(err, govern.ErrLimit) {
+		t.Fatalf("runServe on bomb with -max-nodes = %v, want ErrLimit", err)
 	}
 }

@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	grepair -c [-maxrank 4] [-order fp] [-workers N] [-o out.grpr] in.graph
+//	grepair -c [-maxrank 4] [-order fp] [-workers N] [-seal] [-o out.grpr] in.graph
 //	grepair -d [-max-nodes N] [-max-edges N] [-o out.graph] in.grpr
+//	grepair -seal [-o out.grpr] in.grpr
 //	grepair -stats in.grpr
 //
 // Graphs use the text format of internal/graphio; compressed files use
@@ -11,6 +12,12 @@
 // exponentially succinct, decompressing an untrusted file should be
 // bounded with -max-nodes/-max-edges (bombs are rejected analytically,
 // before materialization) and -timeout.
+//
+// -seal wraps the encoded grammar in a self-verifying container
+// (per-chunk CRC32s; see internal/encoding's seal format) so loaders
+// detect bit rot before decoding. With -c it seals the fresh output;
+// alone it seals an existing legacy archive after verifying it still
+// decodes. -d and -stats accept sealed and unsealed files alike.
 package main
 
 import (
@@ -38,6 +45,7 @@ type options struct {
 	compress   bool
 	decompress bool
 	stats      bool
+	seal       bool
 	out        string
 	maxRank    int
 	orderName  string
@@ -55,6 +63,7 @@ func main() {
 	flag.BoolVar(&o.compress, "c", false, "compress a text graph into a grammar file")
 	flag.BoolVar(&o.decompress, "d", false, "decompress a grammar file into a text graph")
 	flag.BoolVar(&o.stats, "stats", false, "print statistics of a grammar file")
+	flag.BoolVar(&o.seal, "seal", false, "seal the output (-c) or an existing archive in a self-verifying container")
 	flag.StringVar(&o.out, "o", "", "output file (default stdout)")
 	flag.IntVar(&o.maxRank, "maxrank", 4, "maximal digram rank")
 	flag.StringVar(&o.orderName, "order", "fp", "node order: natural|bfs|dfs|random|fp0|fp")
@@ -66,8 +75,8 @@ func main() {
 	flag.Int64Var(&o.maxNodes, "max-nodes", 0, "reject decompression beyond this many derived nodes (0 = unlimited)")
 	flag.Int64Var(&o.maxEdges, "max-edges", 0, "reject decompression beyond this many derived edges (0 = unlimited)")
 	flag.Parse()
-	if flag.NArg() != 1 || (!o.compress && !o.decompress && !o.stats) {
-		fmt.Fprintln(os.Stderr, "usage: grepair -c|-d|-stats [flags] <file>")
+	if flag.NArg() != 1 || (!o.compress && !o.decompress && !o.stats && !o.seal) {
+		fmt.Fprintln(os.Stderr, "usage: grepair -c|-d|-stats|-seal [flags] <file>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -75,6 +84,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "grepair:", err)
 		os.Exit(1)
 	}
+}
+
+// readArchive reads a grammar file, transparently verifying and
+// unwrapping the seal container when present (bit rot in a sealed
+// file surfaces as ErrCorrupt here, before the decoder runs).
+func readArchive(path string) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if encoding.IsSealed(buf) {
+		return encoding.Unseal(buf)
+	}
+	return buf, nil
 }
 
 func run(in string, o options) error {
@@ -141,6 +164,9 @@ func run(in string, o options) error {
 		if err != nil {
 			return err
 		}
+		if o.seal {
+			buf = encoding.Seal(buf)
+		}
 		if err := openOutput(); err != nil {
 			return err
 		}
@@ -154,7 +180,7 @@ func run(in string, o options) error {
 		return nil
 
 	case o.decompress:
-		buf, err := os.ReadFile(in)
+		buf, err := readArchive(in)
 		if err != nil {
 			return err
 		}
@@ -172,8 +198,33 @@ func run(in string, o options) error {
 		labels := g.Terminals
 		return graphio.Write(output, derived, labels)
 
-	default: // stats
+	case o.seal:
+		// Standalone seal of an existing legacy archive. The payload is
+		// verified to decode before sealing: a checksum over corrupt
+		// bytes would only certify the corruption.
 		buf, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		if encoding.IsSealed(buf) {
+			return fmt.Errorf("%s is already sealed", in)
+		}
+		if _, err := encoding.DecodeContext(ctx, buf, lim); err != nil {
+			return fmt.Errorf("refusing to seal: %w", err)
+		}
+		sealed := encoding.Seal(buf)
+		if err := openOutput(); err != nil {
+			return err
+		}
+		if _, err := output.Write(sealed); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "grepair: sealed %d payload bytes into %d (%.2f%% overhead)\n",
+			len(buf), len(sealed), float64(len(sealed)-len(buf))*100/float64(len(buf)))
+		return nil
+
+	default: // stats
+		buf, err := readArchive(in)
 		if err != nil {
 			return err
 		}

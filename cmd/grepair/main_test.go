@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"graphrepair"
+	"graphrepair/internal/encoding"
 	"graphrepair/internal/gen"
 	"graphrepair/internal/govern"
 	"graphrepair/internal/graphio"
@@ -229,5 +231,91 @@ func TestWorkersCLI(t *testing.T) {
 	}
 	if labels != 2 || g.NumNodes() != 13 || g.NumEdges() != 12 {
 		t.Fatalf("roundtrip graph: %d labels, %d nodes, %d edges", labels, g.NumNodes(), g.NumEdges())
+	}
+}
+
+// TestSealCLI pins the seal workflow end to end: -c -seal writes a
+// sealed archive whose embedded payload is byte-identical to the
+// unsealed -c output; -stats and -d accept sealed and unsealed files
+// alike with identical results; standalone -seal wraps an existing
+// legacy archive; a corrupted sealed file is refused with ErrCorrupt.
+func TestSealCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestGraph(t, dir)
+
+	plain := filepath.Join(dir, "plain.grpr")
+	if err := run(in, compressOpts(plain)); err != nil {
+		t.Fatal(err)
+	}
+	sealed := filepath.Join(dir, "sealed.grpr")
+	o := compressOpts(sealed)
+	o.seal = true
+	if err := run(in, o); err != nil {
+		t.Fatal(err)
+	}
+
+	plainBuf, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealedBuf, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !encoding.IsSealed(sealedBuf) || encoding.IsSealed(plainBuf) {
+		t.Fatal("seal flag did not control the container")
+	}
+	payload, err := encoding.Unseal(sealedBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, plainBuf) {
+		t.Fatal("sealed payload differs from the unsealed archive (encoded bytes moved)")
+	}
+
+	// -d on sealed and unsealed produce identical text graphs.
+	outPlain := filepath.Join(dir, "plain.graph")
+	outSealed := filepath.Join(dir, "sealed.graph")
+	if err := run(plain, options{decompress: true, out: outPlain}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(sealed, options{decompress: true, out: outSealed}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(outPlain)
+	b, _ := os.ReadFile(outSealed)
+	if !bytes.Equal(a, b) {
+		t.Fatal("decompressing sealed vs unsealed differs")
+	}
+	if err := run(sealed, options{stats: true, out: filepath.Join(dir, "s.txt")}); err != nil {
+		t.Fatalf("stats on sealed: %v", err)
+	}
+
+	// Standalone -seal wraps an existing legacy archive identically.
+	wrapped := filepath.Join(dir, "wrapped.grpr")
+	if err := run(plain, options{seal: true, out: wrapped}); err != nil {
+		t.Fatalf("standalone seal: %v", err)
+	}
+	wrappedBuf, err := os.ReadFile(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wrappedBuf, sealedBuf) {
+		t.Fatal("standalone seal differs from -c -seal output")
+	}
+	// Sealing twice is refused.
+	if err := run(wrapped, options{seal: true, out: filepath.Join(dir, "x.grpr")}); err == nil {
+		t.Fatal("double seal accepted")
+	}
+
+	// One flipped byte anywhere in the sealed file is ErrCorrupt.
+	rotted := append([]byte(nil), sealedBuf...)
+	rotted[len(rotted)/3] ^= 0x10
+	bad := filepath.Join(dir, "rot.grpr")
+	if err := os.WriteFile(bad, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, options{decompress: true, out: filepath.Join(dir, "rot.graph")}); !errors.Is(err, govern.ErrCorrupt) {
+		t.Fatalf("decompress of bit-rotted sealed file = %v, want ErrCorrupt", err)
 	}
 }

@@ -19,6 +19,14 @@
 //     (panics, proving the facade backstop)
 //   - "grammar.derive"    — rule expansion in DeriveContext (returns
 //     an error through the new error path)
+//   - "encoding.seal.verify" — sealed-archive verification in Unseal
+//     (integrity faults on the server's load/reload path)
+//   - "serve.reload.read" — archive read at the head of a server
+//     load/reload (I/O faults; a failed reload must keep the old
+//     engine serving)
+//   - "serve.handler"     — the query handler past admission (panics,
+//     proving the per-request recover middleware isolates a poisoned
+//     request while the server keeps serving)
 //
 // Usage in instrumented code:
 //
@@ -39,11 +47,17 @@ package faultinject
 // Failpoint names. Constants so instrumented code and the harness
 // cannot drift apart on spelling.
 const (
-	BitioRead      = "bitio.read"
-	HypergraphGrow = "hypergraph.grow"
-	CoreRule       = "core.rule"
-	GrammarDerive  = "grammar.derive"
+	BitioRead       = "bitio.read"
+	HypergraphGrow  = "hypergraph.grow"
+	CoreRule        = "core.rule"
+	GrammarDerive   = "grammar.derive"
+	SealVerify      = "encoding.seal.verify"
+	ServeReloadRead = "serve.reload.read"
+	ServeHandler    = "serve.handler"
 )
 
 // Names lists every failpoint, for harnesses that sweep all of them.
-var Names = []string{BitioRead, HypergraphGrow, CoreRule, GrammarDerive}
+var Names = []string{
+	BitioRead, HypergraphGrow, CoreRule, GrammarDerive,
+	SealVerify, ServeReloadRead, ServeHandler,
+}

@@ -68,6 +68,21 @@ type Limits struct {
 // Unlimited reports whether no limit field is set.
 func (l Limits) Unlimited() bool { return l == Limits{} }
 
+// CheckSize enforces MaxNodes/MaxEdges against an analytically
+// computed derived size (see grammar.DerivedSize), returning a typed
+// *LimitError on the first exceeded cap. Callers that can compute the
+// derived size in O(|rules|) use this to reject decompression bombs
+// before materializing or serving anything.
+func (l Limits) CheckSize(nodes, edges int64) error {
+	if l.MaxNodes > 0 && nodes > l.MaxNodes {
+		return &LimitError{Resource: "derived nodes", Demanded: nodes, Allowed: l.MaxNodes}
+	}
+	if l.MaxEdges > 0 && edges > l.MaxEdges {
+		return &LimitError{Resource: "derived edges", Demanded: edges, Allowed: l.MaxEdges}
+	}
+	return nil
+}
+
 // LimitError is the typed error behind ErrLimit: which resource was
 // exhausted, how much was demanded, and how much was allowed.
 type LimitError struct {

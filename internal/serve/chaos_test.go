@@ -1,0 +1,213 @@
+//go:build faultinject
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"graphrepair/internal/encoding"
+	"graphrepair/internal/faultinject"
+	"graphrepair/internal/govern"
+)
+
+var errChaos = errors.New("chaos: injected fault")
+
+// chaosLoad runs background query workers against base until stop is
+// closed, tallying status codes and checking 200 bodies against want.
+// Returns a func that stops the workers and reports (ok, c500, other).
+func chaosLoad(t *testing.T, base string, urls []string, want map[string]string) func() (int64, int64, int64) {
+	t.Helper()
+	stop := make(chan struct{})
+	var ok200, c500, other atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := urls[(w+i)%len(urls)]
+				resp, err := http.Get(u)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if string(body) != want[u] {
+						t.Errorf("worker %d: GET %s answer drifted: %q vs %q", w, u, body, want[u])
+						return
+					}
+					ok200.Add(1)
+				case http.StatusInternalServerError:
+					c500.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(w)
+	}
+	return func() (int64, int64, int64) {
+		close(stop)
+		wg.Wait()
+		return ok200.Load(), c500.Load(), other.Load()
+	}
+}
+
+// TestChaosServeFailpoints is the serve-path chaos sweep (run with
+// -tags faultinject -race in CI): with concurrent load running the
+// whole time, every serve failpoint is armed in turn — a handler
+// panic, a reload read fault, a seal-verification fault, a decode
+// fault — plus real on-disk corruption and SIGHUP reloads. The server
+// must never crash or exit, each injected fault must map to its
+// status code (panic→one 500) or fail the reload with the right
+// taxonomy branch, and a failed reload must leave the old engine
+// serving byte-identical answers.
+func TestChaosServeFailpoints(t *testing.T) {
+	defer faultinject.Reset()
+	ctx := context.Background()
+
+	path := filepath.Join(t.TempDir(), "g.grpr")
+	goodSealed := encoding.Seal(encodeChain(t, 9))
+	if err := os.WriteFile(path, goodSealed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(path, Config{MaxInflight: 16, Logf: t.Logf})
+	if err := s.Reload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Pin the answers every 200 must match for the rest of the test.
+	urls := []string{
+		ts.URL + "/query?q=reach&from=1&to=9",
+		ts.URL + "/query?q=components",
+		ts.URL + "/query?q=both&from=5",
+	}
+	want := map[string]string{}
+	for _, u := range urls {
+		code, body, _ := get(t, ts.Client(), u)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d %q", u, code, body)
+		}
+		want[u] = body
+	}
+
+	stopLoad := chaosLoad(t, ts.URL, urls, want)
+
+	// 1. Handler panic under load: exactly one request answers 500,
+	// everyone else keeps getting byte-identical 200s.
+	panicsBefore := s.Stats().Panics
+	faultinject.Arm(faultinject.ServeHandler, 0, errChaos)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Panics == panicsBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("armed handler panic never fired under load")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, _, _ := get(t, ts.Client(), urls[0]); code != http.StatusOK {
+		t.Fatalf("server unhealthy after handler panic: %d", code)
+	}
+
+	// 2. Reload read fault: the injected I/O error fails the reload,
+	// the failure is counted, the old engine keeps serving.
+	failsBefore := s.Stats().ReloadFailures
+	faultinject.Arm(faultinject.ServeReloadRead, 0, errChaos)
+	if err := s.Reload(ctx); !errors.Is(err, errChaos) {
+		t.Fatalf("reload with read fault = %v, want injected cause", err)
+	}
+
+	// 3. Seal verification fault: classified corrupt, reload fails.
+	faultinject.Arm(faultinject.SealVerify, 0, errChaos)
+	if err := s.Reload(ctx); !errors.Is(err, govern.ErrCorrupt) || !errors.Is(err, errChaos) {
+		t.Fatalf("reload with seal fault = %v, want ErrCorrupt wrapping injected cause", err)
+	}
+
+	// 4. Decode fault (bit reader): classified corrupt, reload fails.
+	faultinject.Arm(faultinject.BitioRead, 0, errChaos)
+	if err := s.Reload(ctx); !errors.Is(err, govern.ErrCorrupt) {
+		t.Fatalf("reload with decode fault = %v, want ErrCorrupt", err)
+	}
+
+	// 5. Real bit rot on disk: same outcome without any failpoint.
+	rotted := append([]byte(nil), goodSealed...)
+	rotted[len(rotted)/2] ^= 0x20
+	if err := os.WriteFile(path, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(ctx); !errors.Is(err, govern.ErrCorrupt) {
+		t.Fatalf("reload of bit-rotted archive = %v, want ErrCorrupt", err)
+	}
+	if got := s.Stats().ReloadFailures; got != failsBefore+4 {
+		t.Fatalf("reload failures = %d, want %d", got, failsBefore+4)
+	}
+
+	// 6. Restore the good archive and reload under load via SIGHUP:
+	// the swap is atomic, answers stay byte-identical throughout.
+	if err := os.WriteFile(path, goodSealed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hupCtx, hupCancel := context.WithCancel(ctx)
+	defer hupCancel()
+	s.WatchHUP(hupCtx)
+	time.Sleep(10 * time.Millisecond)
+	reloadsBefore := s.Stats().Reloads
+	for i := 0; i < 3; i++ {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Stats().Reloads <= reloadsBefore+uint64(i) {
+			if time.Now().After(deadline) {
+				t.Fatalf("SIGHUP reload %d never happened", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	ok200, c500, other := stopLoad()
+	if t.Failed() {
+		return
+	}
+	if c500 != 1 {
+		t.Errorf("load saw %d 500s, want exactly 1 (the injected handler panic)", c500)
+	}
+	if other != 0 {
+		t.Errorf("load saw %d responses outside 200/500", other)
+	}
+	if ok200 == 0 {
+		t.Error("load never completed a successful request")
+	}
+	st := s.Stats()
+	if st.Panics != panicsBefore+1 {
+		t.Errorf("panics counter = %d, want %d", st.Panics, panicsBefore+1)
+	}
+	t.Logf("chaos load: %d ok, %d injected-500, reloads=%d failures=%d",
+		ok200, c500, st.Reloads, st.ReloadFailures)
+
+	// The whole sweep must leave the server serving the pinned answers.
+	for _, u := range urls {
+		if code, body, _ := get(t, ts.Client(), u); code != http.StatusOK || body != want[u] {
+			t.Errorf("after sweep: GET %s = %d %q, want 200 %q", u, code, body, want[u])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"graphrepair/internal/query"
+)
+
+// latencyBounds are the upper edges of the /stats latency histogram;
+// the final bucket is everything beyond the last bound.
+var latencyBounds = [...]time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// metrics holds the server's observability counters. All fields are
+// atomics: handlers on many goroutines bump them lock-free.
+type metrics struct {
+	served      atomic.Uint64 // /query requests answered 200
+	shed        atomic.Uint64 // requests rejected by admission control
+	panics      atomic.Uint64 // handler panics caught by the middleware
+	queryErrors atomic.Uint64 // non-400 query failures (canceled/limit/corrupt)
+	writeErrors atomic.Uint64 // response encode/write failures
+	reloads     atomic.Uint64 // successful hot reloads
+	reloadFails atomic.Uint64 // failed reloads (old engine kept serving)
+
+	latency [len(latencyBounds) + 1]atomic.Uint64
+}
+
+// observe records one admitted request's wall time in the histogram.
+func (m *metrics) observe(d time.Duration) {
+	for i, b := range latencyBounds {
+		if d <= b {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBounds)].Add(1)
+}
+
+// LatencyBuckets is the /stats histogram: cumulative-free counts per
+// upper bound.
+type LatencyBuckets struct {
+	Le1ms   uint64 `json:"le_1ms"`
+	Le10ms  uint64 `json:"le_10ms"`
+	Le100ms uint64 `json:"le_100ms"`
+	Le1s    uint64 `json:"le_1s"`
+	Gt1s    uint64 `json:"gt_1s"`
+}
+
+// StatsSnapshot is the /stats payload: the engine's own counters plus
+// the serving layer's admission, fault and reload counters.
+type StatsSnapshot struct {
+	Engine         query.Stats    `json:"engine"`
+	Inflight       int            `json:"inflight"`
+	Queued         int            `json:"queued"`
+	Served         uint64         `json:"served"`
+	Shed           uint64         `json:"shed"`
+	Panics         uint64         `json:"panics"`
+	QueryErrors    uint64         `json:"queryErrors"`
+	WriteErrors    uint64         `json:"writeErrors"`
+	Reloads        uint64         `json:"reloads"`
+	ReloadFailures uint64         `json:"reloadFailures"`
+	Latency        LatencyBuckets `json:"latency"`
+}
+
+// Stats snapshots the server's counters. Counters are read
+// individually without a global lock, so a snapshot taken under load
+// is approximate across fields but each field is exact.
+func (s *Server) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		Inflight:       s.admit.inflight(),
+		Queued:         s.admit.queuedNow(),
+		Served:         s.met.served.Load(),
+		Shed:           s.met.shed.Load(),
+		Panics:         s.met.panics.Load(),
+		QueryErrors:    s.met.queryErrors.Load(),
+		WriteErrors:    s.met.writeErrors.Load(),
+		Reloads:        s.met.reloads.Load(),
+		ReloadFailures: s.met.reloadFails.Load(),
+		Latency: LatencyBuckets{
+			Le1ms:   s.met.latency[0].Load(),
+			Le10ms:  s.met.latency[1].Load(),
+			Le100ms: s.met.latency[2].Load(),
+			Le1s:    s.met.latency[3].Load(),
+			Gt1s:    s.met.latency[4].Load(),
+		},
+	}
+	if eng := s.engine.Load(); eng != nil {
+		snap.Engine = eng.EngineStats()
+	}
+	return snap
+}
