@@ -39,6 +39,20 @@ var orderNames = map[string]order.Kind{
 	"random": order.Random, "fp0": order.FP0, "fp": order.FP,
 }
 
+var modeNames = map[string]core.CompressMode{
+	"classic": core.ModeClassic, "maxrepeat": core.ModeMaxRepeat,
+}
+
+// modeName renders an archive header mode for -stats.
+func modeName(m encoding.Mode) string {
+	switch m {
+	case encoding.ModeMaxRepeat:
+		return "maxrepeat"
+	default:
+		return "classic"
+	}
+}
+
 // options collects everything main parses from the command line;
 // run takes it whole so tests can drive the tool in-process.
 type options struct {
@@ -49,6 +63,7 @@ type options struct {
 	out        string
 	maxRank    int
 	orderName  string
+	modeName   string
 	seed       int64
 	noVirtual  bool
 	noPrune    bool
@@ -67,6 +82,7 @@ func main() {
 	flag.StringVar(&o.out, "o", "", "output file (default stdout)")
 	flag.IntVar(&o.maxRank, "maxrank", 4, "maximal digram rank")
 	flag.StringVar(&o.orderName, "order", "fp", "node order: natural|bfs|dfs|random|fp0|fp")
+	flag.StringVar(&o.modeName, "mode", "classic", "replacement mode: classic|maxrepeat (recorded in the archive header)")
 	flag.Int64Var(&o.seed, "seed", 0, "seed for the random order")
 	flag.BoolVar(&o.noVirtual, "novirtual", false, "disable the virtual-edge stage")
 	flag.BoolVar(&o.noPrune, "noprune", false, "disable pruning")
@@ -148,6 +164,10 @@ func run(in string, o options) error {
 		if !ok {
 			return fmt.Errorf("unknown order %q", o.orderName)
 		}
+		mode, ok := modeNames[o.modeName]
+		if !ok {
+			return fmt.Errorf("unknown mode %q", o.modeName)
+		}
 		opts := core.Options{
 			MaxRank:           o.maxRank,
 			Order:             kind,
@@ -155,12 +175,13 @@ func run(in string, o options) error {
 			ConnectComponents: !o.noVirtual,
 			SkipPrune:         o.noPrune,
 			Workers:           o.workers,
+			Mode:              mode,
 		}
 		res, err := core.CompressContext(ctx, g, labels, opts)
 		if err != nil {
 			return err
 		}
-		buf, sz, err := encoding.Encode(res.Grammar)
+		buf, sz, err := encoding.EncodeMode(res.Grammar, encoding.Mode(mode))
 		if err != nil {
 			return err
 		}
@@ -228,7 +249,7 @@ func run(in string, o options) error {
 		if err != nil {
 			return err
 		}
-		g, err := encoding.DecodeContext(ctx, buf, lim)
+		g, m, err := encoding.DecodeModeContext(ctx, buf, lim)
 		if err != nil {
 			return err
 		}
@@ -237,6 +258,7 @@ func run(in string, o options) error {
 		}
 		nodes, edges := g.DerivedSize()
 		fmt.Fprintf(output, "file bytes:      %d\n", len(buf))
+		fmt.Fprintf(output, "mode:            %s\n", modeName(m))
 		fmt.Fprintf(output, "terminals:       %d\n", g.Terminals)
 		fmt.Fprintf(output, "rules:           %d\n", g.NumRules())
 		fmt.Fprintf(output, "grammar size:    %d (|G| = nodes+edges measure)\n", g.Size())

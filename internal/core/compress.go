@@ -12,6 +12,23 @@ import (
 	"graphrepair/internal/order"
 )
 
+// CompressMode selects the digram replacement strategy.
+type CompressMode int
+
+const (
+	// ModeClassic is the paper's algorithm: each round replaces the
+	// single most frequent digram and returns to the queue.
+	ModeClassic CompressMode = iota
+	// ModeMaxRepeat adapts MR-RePair (Furuya et al.) to graphs: after a
+	// digram is replaced, the replacement greedily grows along chains
+	// of equal-count digrams involving the fresh nonterminal, and fully
+	// consumed ladder rules are inlined into their successor — wider
+	// rules in fewer rounds (DESIGN.md §15). Output is deterministic
+	// but not byte-identical to classic mode; archives carry a mode tag
+	// in the header version.
+	ModeMaxRepeat
+)
+
 // Options configure gRePair. The zero value is not valid; use
 // DefaultOptions (maxRank 4 and the FP order, the configuration the
 // paper found best across its datasets).
@@ -49,6 +66,11 @@ type Options struct {
 	// byte-identical to the sequential grammar (digram counts pool
 	// across shards in sequential mode).
 	Workers int
+	// Mode selects the replacement strategy: ModeClassic (the zero
+	// value, the paper's one-digram-per-round loop, byte-identical to
+	// the golden grammars) or ModeMaxRepeat (chain growth along
+	// equal-count digrams).
+	Mode CompressMode
 }
 
 // DefaultOptions returns the paper's recommended configuration.
@@ -75,6 +97,9 @@ type Stats struct {
 	// FPClasses is |[≅FP]| of the input when the FP order was used
 	// (0 otherwise); the paper correlates it with compression.
 	FPClasses int
+	// ChainInlined counts ladder rules collapsed into their successor
+	// by max-repeat chain growth (0 in classic mode).
+	ChainInlined int
 }
 
 // Result is a compressed graph: a straight-line HR grammar whose
@@ -195,6 +220,14 @@ func (c *compressor) run() (*Result, error) {
 		}
 	}
 
+	// Max-repeat chains leave fully inlined ladder rules behind as
+	// unreferenced orphans; drop them here (even with SkipPrune, so
+	// orphans are never encoded) rather than mid-run, where renumbering
+	// labels would invalidate digram keys and interned edges. Pruning
+	// recounts references afterwards from a clean grammar.
+	if c.opts.Mode == ModeMaxRepeat && len(c.chainOrphans) > 0 {
+		c.gram.DropOrphans(c.chainOrphans)
+	}
 	if !c.opts.SkipPrune {
 		c.stats.RulesPruned = c.gram.Prune()
 	}
@@ -399,6 +432,10 @@ type compressor struct {
 	groupStart         []int32
 	liveBuf            []int32
 	attBuf, remBuf     []hypergraph.NodeID
+
+	// chainOrphans collects ladder rules fully inlined by max-repeat
+	// chains (maxrepeat.go), dropped in one batch at the end of run().
+	chainOrphans []hypergraph.Label
 }
 
 // runToFixpoint repeats runStage until a pass creates no further
@@ -467,7 +504,11 @@ func (c *compressor) runStage() error {
 		if di == noDigram {
 			return nil
 		}
-		c.replaceDigram(di)
+		if c.opts.Mode == ModeMaxRepeat {
+			c.replaceMaxRepeat(di)
+		} else {
+			c.replaceDigram(di)
+		}
 	}
 }
 
@@ -584,8 +625,11 @@ func (c *compressor) growEdgeState() {
 // replaceDigram performs steps 4–6 for the selected digram: creates a
 // fresh nonterminal, replaces every live occurrence, invalidates
 // overlapping occurrences of other digrams, and pairs each new
-// nonterminal edge with available neighboring edges.
-func (c *compressor) replaceDigram(di int32) {
+// nonterminal edge with available neighboring edges. It returns the
+// nonterminal created (0 if the digram no longer had two live
+// occurrences) and the number of occurrences actually replaced, which
+// max-repeat chain growth (maxrepeat.go) consumes.
+func (c *compressor) replaceDigram(di int32) (hypergraph.Label, int) {
 	// Copy the key out: the pool may grow (invalidating pointers)
 	// when pairing discovers new digrams below.
 	c.digramPool[di].retired = true
@@ -605,10 +649,11 @@ func (c *compressor) replaceDigram(di int32) {
 	}
 	c.liveBuf = live
 	if len(live) < 2 {
-		return
+		return 0, 0
 	}
 
 	var nt hypergraph.Label
+	made := 0
 	for _, oi := range live {
 		// Earlier replacements in this loop never consume edges of
 		// later occurrences (lists are non-overlapping), but guard
@@ -650,7 +695,9 @@ func (c *compressor) replaceDigram(di int32) {
 			}
 		}
 		c.replaceOccurrence(oi, co, nt, iid)
+		made++
 	}
+	return nt, made
 }
 
 // replaceOccurrence removes the two occurrence edges and the internal

@@ -30,6 +30,10 @@ func graphFromFuzz(data []byte) (*hypergraph.Graph, hypergraph.Label, Options, b
 	n := 2 + int(data[0])%(fuzzMaxNodes-1)
 	labels := hypergraph.Label(1 + data[1]%3)
 	flags := data[4]
+	mode := ModeClassic
+	if flags&8 != 0 {
+		mode = ModeMaxRepeat
+	}
 	opts := Options{
 		MaxRank:           2 + int(data[2])%7,
 		Order:             order.ExtendedKinds[int(data[3])%len(order.ExtendedKinds)],
@@ -37,6 +41,7 @@ func graphFromFuzz(data []byte) (*hypergraph.Graph, hypergraph.Label, Options, b
 		ConnectComponents: flags&1 != 0,
 		SkipPrune:         flags&2 != 0,
 		SinglePass:        flags&4 != 0,
+		Mode:              mode,
 	}
 	var triples []hypergraph.Triple
 	for rest := data[5:]; len(rest) >= 3 && len(triples) < fuzzMaxTriples; rest = rest[3:] {
@@ -90,6 +95,9 @@ func FuzzDifferential(f *testing.F) {
 		fuzzSeed(star, 1, 4, 1, 1),                  // hub pairing
 		fuzzSeed(gen.CircleCopies(6), 1, 4, 2, 1),   // repeated components
 		fuzzSeed(gen.CircleCopies(4), 1, 5, 6, 5),   // random order, single pass
+		fuzzSeed(chainGraph(20), 2, 4, 2, 9),        // max-repeat: chains on a chain graph
+		fuzzSeed(gen.CircleCopies(6), 1, 4, 2, 9),   // max-repeat over repeated components
+		fuzzSeed(chainGraph(12), 2, 0, 0, 11),       // max-repeat, no prune (orphan drop path)
 		{40, 2, 3, 4, 1, 0, 1, 0, 1, 2, 1, 2, 3, 0}, // raw noise
 	} {
 		f.Add(seed)
@@ -113,7 +121,8 @@ func FuzzDifferential(f *testing.F) {
 		if res.Stats.Replacements != ref.Stats.Replacements ||
 			res.Stats.SkippedDuplicates != ref.Stats.SkippedDuplicates ||
 			res.Stats.VirtualEdges != ref.Stats.VirtualEdges ||
-			res.Stats.RulesPruned != ref.Stats.RulesPruned {
+			res.Stats.RulesPruned != ref.Stats.RulesPruned ||
+			res.Stats.ChainInlined != ref.Stats.ChainInlined {
 			t.Fatalf("stats: arena %+v, reference %+v", res.Stats, ref.Stats)
 		}
 		bufA, _, err := encoding.Encode(res.Grammar)

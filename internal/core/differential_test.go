@@ -32,7 +32,17 @@ func refOptions(o Options) reference.Options {
 		ConnectComponents: o.ConnectComponents,
 		SkipPrune:         o.SkipPrune,
 		SinglePass:        o.SinglePass,
+		Mode:              reference.Mode(o.Mode),
 	}
+}
+
+// diffModes is the CompressMode axis every differential sweep samples.
+var diffModes = []struct {
+	name string
+	mode CompressMode
+}{
+	{"classic", ModeClassic},
+	{"maxrepeat", ModeMaxRepeat},
 }
 
 // checkDifferential compresses g with both compressors and fails on
@@ -59,6 +69,7 @@ func checkDifferential(t *testing.T, g *hypergraph.Graph, labels hypergraph.Labe
 		VirtualEdges:      ref.Stats.VirtualEdges,
 		SkippedDuplicates: ref.Stats.SkippedDuplicates,
 		FPClasses:         ref.Stats.FPClasses,
+		ChainInlined:      ref.Stats.ChainInlined,
 	}
 	if res.Stats != refStats {
 		t.Errorf("stats: arena %+v, reference %+v", res.Stats, refStats)
@@ -100,13 +111,17 @@ func TestDifferentialCatalog(t *testing.T) {
 		t.Skip("differential catalog sweep is seconds-per-model; skipped in -short")
 	}
 	for _, name := range gen.Names("") {
-		t.Run(name, func(t *testing.T) {
-			d, err := gen.Generate(name, 2048)
-			if err != nil {
-				t.Fatal(err)
-			}
-			checkDifferential(t, d.Graph, d.Labels, DefaultOptions(), true)
-		})
+		for _, m := range diffModes {
+			t.Run(name+"/"+m.name, func(t *testing.T) {
+				d, err := gen.Generate(name, 2048)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := DefaultOptions()
+				opts.Mode = m.mode
+				checkDifferential(t, d.Graph, d.Labels, opts, true)
+			})
+		}
 	}
 }
 
@@ -119,13 +134,17 @@ func TestDifferentialScales(t *testing.T) {
 	}
 	for _, name := range []string{"rdf-types-ru", "wiki-talk", "notredame", "rdf-jamendo"} {
 		for _, scale := range []int{512, 2048} {
-			t.Run(fmt.Sprintf("%s/scale%d", name, scale), func(t *testing.T) {
-				d, err := gen.Generate(name, scale)
-				if err != nil {
-					t.Fatal(err)
-				}
-				checkDifferential(t, d.Graph, d.Labels, DefaultOptions(), true)
-			})
+			for _, m := range diffModes {
+				t.Run(fmt.Sprintf("%s/scale%d/%s", name, scale, m.name), func(t *testing.T) {
+					d, err := gen.Generate(name, scale)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := DefaultOptions()
+					opts.Mode = m.mode
+					checkDifferential(t, d.Graph, d.Labels, opts, true)
+				})
+			}
 		}
 	}
 }
@@ -146,15 +165,19 @@ func TestDifferentialMatrix(t *testing.T) {
 		}
 		for _, k := range order.Kinds {
 			for _, mr := range []int{2, 4, 8} {
-				t.Run(fmt.Sprintf("%s/%s/maxRank%d", name, k, mr), func(t *testing.T) {
-					opts := Options{MaxRank: mr, Order: k, Seed: 7, ConnectComponents: true}
-					checkDifferential(t, d.Graph, d.Labels, opts, false)
-				})
+				for _, m := range diffModes {
+					t.Run(fmt.Sprintf("%s/%s/maxRank%d/%s", name, k, mr, m.name), func(t *testing.T) {
+						opts := Options{MaxRank: mr, Order: k, Seed: 7, ConnectComponents: true, Mode: m.mode}
+						checkDifferential(t, d.Graph, d.Labels, opts, false)
+					})
+				}
 			}
 		}
-		t.Run(fmt.Sprintf("%s/noPrune-singlePass", name), func(t *testing.T) {
-			opts := Options{MaxRank: 4, Order: order.FP, SkipPrune: true, SinglePass: true}
-			checkDifferential(t, d.Graph, d.Labels, opts, false)
-		})
+		for _, m := range diffModes {
+			t.Run(fmt.Sprintf("%s/noPrune-singlePass/%s", name, m.name), func(t *testing.T) {
+				opts := Options{MaxRank: 4, Order: order.FP, SkipPrune: true, SinglePass: true, Mode: m.mode}
+				checkDifferential(t, d.Graph, d.Labels, opts, false)
+			})
+		}
 	}
 }

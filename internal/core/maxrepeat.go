@@ -1,0 +1,90 @@
+package core
+
+import (
+	"graphrepair/internal/hypergraph"
+)
+
+// Max-repeat mode (Options.Mode == ModeMaxRepeat): MR-RePair's
+// maximal-repeat replacement (Furuya et al., PAPERS.md) adapted to the
+// digram machinery. Classic gRePair replaces one digram per round and
+// returns to the queue; a run of k identical digram chains then costs
+// k rounds and a ladder of k nested rules that pruning later collapses.
+// Max-repeat mode collapses the ladder at replacement time: after a
+// digram is replaced, the digrams its fresh nonterminal label just
+// created are scanned for one whose live count equals the number of
+// replacements made, and the chain continues there immediately. When a
+// chain step consumes every edge of the previous nonterminal, the
+// previous rule survives only inside the new rule's right-hand side
+// and is inlined there mid-run — a wider rule — leaving an
+// unreferenced orphan that run() drops in one batch (DESIGN.md §15).
+//
+// The reference implementation of the same policy lives in
+// internal/core/reference (replaceMaxRepeat there); the differential
+// harness pins the two byte-identical in both modes.
+
+// replaceMaxRepeat replaces digram di and then greedily follows the
+// chain of equal-count digrams its fresh nonterminal created. Only
+// digrams registered during the preceding replacement can involve the
+// new label, so the candidate scan is bounded by the digrams that
+// replacement's pairing discovered.
+func (c *compressor) replaceMaxRepeat(di int32) {
+	mark := int32(len(c.digramPool))
+	nt, made := c.replaceDigram(di)
+	for nt != 0 && made >= 2 {
+		next := c.chainCandidate(nt, int32(made), mark)
+		if next == noDigram {
+			return
+		}
+		mark = int32(len(c.digramPool))
+		nt2, made2 := c.replaceDigram(next)
+		if nt2 == 0 {
+			return
+		}
+		// made2 == made means every nt edge was consumed (occurrences
+		// of one digram never share an edge): nt is referenced exactly
+		// once, inside rule nt2. A shortfall — a duplicate-edge veto or
+		// a drifted canonical form — leaves nt edges in the graph, so
+		// the rule must stay.
+		if made2 == made {
+			c.inlineChainRule(nt, nt2)
+		}
+		nt, made = nt2, made2
+	}
+}
+
+// chainCandidate returns the pool index of the first digram registered
+// at or after from whose live count equals count and whose key has
+// label nt on exactly one side, or noDigram. First-seen pool order
+// makes the pick deterministic (and identical to the reference scan);
+// digrams pairing nt with itself are excluded — their count is at most
+// half of nt's edges, so they can never cover all of them.
+func (c *compressor) chainCandidate(nt hypergraph.Label, count, from int32) int32 {
+	for di := from; di < int32(len(c.digramPool)); di++ {
+		d := &c.digramPool[di]
+		if d.retired || d.count != count {
+			continue
+		}
+		if (d.key.la == nt) != (d.key.lb == nt) {
+			return di
+		}
+	}
+	return noDigram
+}
+
+// inlineChainRule inlines rule nt's right-hand side into rule parent
+// at its single nt-labeled edge (the chain step consumed every other
+// nt edge) and records nt as an orphan for the end-of-run drop. The
+// rule itself must not be removed mid-run: digram keys, effLabels and
+// the edge interner all embed labels, so renumbering waits for
+// grammar.DropOrphans at the end of run().
+func (c *compressor) inlineChainRule(nt, parent hypergraph.Label) {
+	rhs := c.gram.Rule(parent)
+	for id := range rhs.EdgesSeq() {
+		if rhs.Label(id) == nt {
+			c.gram.Inline(rhs, id)
+			break
+		}
+	}
+	c.chainOrphans = append(c.chainOrphans, nt)
+	c.stats.ChainInlined++
+}

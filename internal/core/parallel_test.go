@@ -156,6 +156,41 @@ func TestParallelMediumDatasets(t *testing.T) {
 	}
 }
 
+// TestParallelMaxRepeat runs the worker sweep in max-repeat mode on
+// the datasets where chain growth actually fires (nonzero
+// ChainInlined), pinning the sharded path's mode plumbing: every
+// shard must replace along chains exactly like the sequential run,
+// and the merged Stats must sum ChainInlined across shards (the stats
+// equality inside checkWorkerSweep covers it).
+func TestParallelMaxRepeat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker sweep is seconds-per-model; skipped in -short")
+	}
+	opts := DefaultOptions()
+	opts.Mode = ModeMaxRepeat
+	for _, name := range []string{"dblp60-70", "rdf-jamendo", "wiki-talk"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			d, err := gen.Generate(name, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Compress(d.Graph, d.Labels, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.ChainInlined == 0 {
+				t.Logf("%s: no chains fired at this scale; sweep still checks mode plumbing", name)
+			}
+			checkWorkerSweep(t, d.Graph, d.Labels, opts)
+		})
+	}
+	t.Run("chain512", func(t *testing.T) {
+		t.Parallel()
+		checkWorkerSweep(t, chainGraph(512), 2, opts)
+	})
+}
+
 // TestParallelSingleComponent forces the partition fallback: a chain
 // is one weak component holding 100% of the edges, so component
 // sharding cannot balance and the BFS partition must carve it.

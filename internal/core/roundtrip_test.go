@@ -92,20 +92,25 @@ func checkStructuralEquiv(t *testing.T, a, b *hypergraph.Graph) {
 
 // TestGeneratorRoundTrip runs the derive-and-isomorphism round trip
 // over the full generator catalog with the paper's default
-// configuration: every workload family the repo models must decompress
-// back to its input.
+// configuration, in both compression modes: every workload family the
+// repo models must decompress back to its input whichever replacement
+// strategy built the grammar.
 func TestGeneratorRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generator round trip is seconds-per-model; skipped in -short")
 	}
 	for _, name := range gen.Names("") {
-		t.Run(name, func(t *testing.T) {
-			d, err := gen.Generate(name, 2048)
-			if err != nil {
-				t.Fatal(err)
-			}
-			checkRoundTrip(t, d.Graph, d.Labels, DefaultOptions())
-		})
+		for _, m := range diffModes {
+			t.Run(name+"/"+m.name, func(t *testing.T) {
+				d, err := gen.Generate(name, 2048)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := DefaultOptions()
+				opts.Mode = m.mode
+				checkRoundTrip(t, d.Graph, d.Labels, opts)
+			})
+		}
 	}
 }
 
@@ -118,13 +123,17 @@ func TestGeneratorRoundTripScales(t *testing.T) {
 	}
 	for _, name := range []string{"rdf-types-ru", "wiki-talk", "notredame", "rdf-jamendo"} {
 		for _, scale := range []int{512, 2048} {
-			t.Run(fmt.Sprintf("%s/scale%d", name, scale), func(t *testing.T) {
-				d, err := gen.Generate(name, scale)
-				if err != nil {
-					t.Fatal(err)
-				}
-				checkRoundTrip(t, d.Graph, d.Labels, DefaultOptions())
-			})
+			for _, m := range diffModes {
+				t.Run(fmt.Sprintf("%s/scale%d/%s", name, scale, m.name), func(t *testing.T) {
+					d, err := gen.Generate(name, scale)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := DefaultOptions()
+					opts.Mode = m.mode
+					checkRoundTrip(t, d.Graph, d.Labels, opts)
+				})
+			}
 		}
 	}
 }

@@ -20,7 +20,8 @@ const sweepAllocBudget = 64 << 20
 
 // sweepCorpora returns the encoded form of the six golden corpora
 // (the same graph family TestGoldenGrammars pins in internal/core),
-// compressed with default options.
+// compressed with default options — each once classic and once in
+// max-repeat mode ("-mr", version-2 header).
 func sweepCorpora(t testing.TB) map[string][]byte {
 	t.Helper()
 	type corpus struct {
@@ -58,6 +59,21 @@ func sweepCorpora(t testing.TB) map[string][]byte {
 			t.Fatalf("%s: %v", name, err)
 		}
 		out[name] = buf
+
+		// The max-repeat twin: a mode-tagged (version-2) archive of the
+		// same input, so every sweep also hits the tagged header — in
+		// particular flips of the version byte must classify as corrupt.
+		opts := core.DefaultOptions()
+		opts.Mode = core.ModeMaxRepeat
+		res, err = core.Compress(c.g, c.labels, opts)
+		if err != nil {
+			t.Fatalf("%s/maxrepeat: %v", name, err)
+		}
+		buf, _, err = EncodeMode(res.Grammar, ModeMaxRepeat)
+		if err != nil {
+			t.Fatalf("%s/maxrepeat: %v", name, err)
+		}
+		out[name+"-mr"] = buf
 	}
 	return out
 }

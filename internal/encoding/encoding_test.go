@@ -1,10 +1,13 @@
 package encoding
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
 	"graphrepair/internal/core"
+	"graphrepair/internal/govern"
 	"graphrepair/internal/grammar"
 	"graphrepair/internal/hypergraph"
 	"graphrepair/internal/iso"
@@ -247,5 +250,73 @@ func TestPaperRuleEncodingShape(t *testing.T) {
 	}
 	if dec.NumRules() != 1 || dec.RankOf(dec.Nonterminals()[0]) != 2 {
 		t.Fatal("rule shape lost")
+	}
+}
+
+// TestModeHeader pins the mode-tag contract of the header version
+// byte: EncodeMode(·, ModeClassic) is bit-identical to Encode (legacy
+// archives ARE classic archives), a max-repeat archive differs only in
+// its version byte, decodes to the same grammar, and reports its mode;
+// an unknown version is rejected as corrupt.
+func TestModeHeader(t *testing.T) {
+	g := buildChain(16)
+	gram := compress(t, g, 2)
+	legacy, _, err := Encode(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, _, err := EncodeMode(gram, ModeClassic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy, classic) {
+		t.Fatal("EncodeMode(ModeClassic) differs from Encode: legacy bits moved")
+	}
+	mr, _, err := EncodeMode(gram, ModeMaxRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr) != len(classic) {
+		t.Fatalf("mode tag changed archive size: %d vs %d bytes", len(mr), len(classic))
+	}
+	diff := 0
+	for i := range mr {
+		if mr[i] != classic[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("mode tag changed %d bytes, want exactly the version byte", diff)
+	}
+
+	// DecodeMode reports the tag; both archives decode to the same
+	// grammar (the mode describes how the grammar was built, not what
+	// it derives).
+	for _, tc := range []struct {
+		buf  []byte
+		want Mode
+	}{{classic, ModeClassic}, {mr, ModeMaxRepeat}} {
+		dec, mode, err := DecodeMode(tc.buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != tc.want {
+			t.Fatalf("DecodeMode reported mode %d, want %d", mode, tc.want)
+		}
+		if !hypergraph.EqualHyper(mustDerive(t, gram), mustDerive(t, dec)) {
+			t.Fatal("mode-tagged archive derives a different graph")
+		}
+	}
+
+	// An unknown version (the byte after the 4-byte magic) is rejected
+	// and classified under the corruption taxonomy.
+	bad := append([]byte(nil), classic...)
+	bad[4] = 0x7F
+	if _, _, err := DecodeMode(bad); !errors.Is(err, govern.ErrCorrupt) {
+		t.Fatalf("unknown version decoded: err=%v, want ErrCorrupt", err)
+	}
+	// EncodeMode refuses modes it has no version for.
+	if _, _, err := EncodeMode(gram, Mode(9)); err == nil {
+		t.Fatal("EncodeMode accepted an unknown mode")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,7 +164,18 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: JSON by default, the Prometheus text
+		// format when the client asks for text/plain (a scraper pointed
+		// at /stats instead of /metrics still gets something it parses).
+		if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") &&
+			!strings.Contains(accept, "application/json") {
+			s.writePrometheus(w)
+			return
+		}
 		s.writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.writePrometheus(w)
 	})
 	mux.HandleFunc("GET /query", s.handleQuery)
 	return s.recovered(mux)

@@ -510,3 +510,89 @@ func grammarBomb(levels int) *grammar.Grammar {
 	g.Start = start
 	return g
 }
+
+// TestMetricsEndpoint pins the Prometheus surface: /metrics always
+// speaks the text exposition format, /stats negotiates — JSON by
+// default, Prometheus text when the client accepts only text/plain —
+// and the two views agree on the counters underneath.
+func TestMetricsEndpoint(t *testing.T) {
+	s := loadedServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if code, _, _ := get(t, ts.Client(), ts.URL+"/query?q=components"); code != http.StatusOK {
+			t.Fatalf("query %d = %d, want 200", i, code)
+		}
+	}
+
+	code, body, hdr := get(t, ts.Client(), ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != promContentType {
+		t.Fatalf("/metrics content type %q, want %q", ct, promContentType)
+	}
+	for _, want := range []string{
+		"# TYPE gquery_served_total counter",
+		"gquery_served_total 3",
+		"gquery_engine_nodes 9",
+		`gquery_request_duration_seconds_bucket{le="+Inf"} 3`,
+		"gquery_request_duration_seconds_count 3",
+		"gquery_request_duration_seconds_sum ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Histogram buckets must be cumulative: every bucket line's value
+	// is bounded by the final count.
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "gquery_request_duration_seconds_bucket") {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if v > 3 {
+			t.Errorf("bucket line %q exceeds the request count", line)
+		}
+	}
+
+	// /stats without an Accept preference stays JSON.
+	_, body, hdr = get(t, ts.Client(), ts.URL+"/stats")
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/stats content type %q, want application/json", ct)
+	}
+	if !strings.Contains(body, `"served":3`) {
+		t.Fatalf("/stats JSON missing served count:\n%s", body)
+	}
+
+	// /stats with Accept: text/plain negotiates to Prometheus text.
+	negotiated := func(accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept", accept)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+	body, ct := negotiated("text/plain")
+	if ct != promContentType || !strings.Contains(body, "gquery_served_total 3") {
+		t.Fatalf("/stats with Accept: text/plain: content type %q, body:\n%s", ct, body)
+	}
+	// A client accepting both keeps the richer JSON view.
+	if _, ct := negotiated("application/json, text/plain"); ct != "application/json" {
+		t.Fatalf("/stats with Accept: application/json, text/plain: content type %q", ct)
+	}
+}

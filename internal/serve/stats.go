@@ -27,11 +27,13 @@ type metrics struct {
 	reloads     atomic.Uint64 // successful hot reloads
 	reloadFails atomic.Uint64 // failed reloads (old engine kept serving)
 
-	latency [len(latencyBounds) + 1]atomic.Uint64
+	latency    [len(latencyBounds) + 1]atomic.Uint64
+	latencySum atomic.Int64 // total admitted-request wall time, ns
 }
 
 // observe records one admitted request's wall time in the histogram.
 func (m *metrics) observe(d time.Duration) {
+	m.latencySum.Add(int64(d))
 	for i, b := range latencyBounds {
 		if d <= b {
 			m.latency[i].Add(1)
@@ -65,6 +67,9 @@ type StatsSnapshot struct {
 	Reloads        uint64         `json:"reloads"`
 	ReloadFailures uint64         `json:"reloadFailures"`
 	Latency        LatencyBuckets `json:"latency"`
+	// LatencySumSeconds is the total wall time of all admitted
+	// requests, the _sum of the Prometheus histogram view.
+	LatencySumSeconds float64 `json:"latencySumSeconds"`
 }
 
 // Stats snapshots the server's counters. Counters are read
@@ -88,6 +93,7 @@ func (s *Server) Stats() StatsSnapshot {
 			Le1s:    s.met.latency[3].Load(),
 			Gt1s:    s.met.latency[4].Load(),
 		},
+		LatencySumSeconds: time.Duration(s.met.latencySum.Load()).Seconds(),
 	}
 	if eng := s.engine.Load(); eng != nil {
 		snap.Engine = eng.EngineStats()
